@@ -1,0 +1,96 @@
+// E4 — Scaling separation (Corollary 3; the "power of multimedia" figure).
+//
+// The log-log series of model time versus n on rings (diameter n/2) for the
+// four global-function algorithms, with fitted scaling exponents.  The
+// multimedia algorithms should fit ~n^0.5 (plus log factors), the two
+// single-medium baselines ~n^1.0 — the structural separation that makes the
+// combined network more powerful than both of its parts.
+#include <memory>
+
+#include "baselines/broadcast_global.hpp"
+#include "baselines/p2p_global.hpp"
+#include "common.hpp"
+#include "core/global_function.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+namespace {
+
+std::uint64_t time_mm(const Graph& g, GlobalFunctionConfig config) {
+  sim::Engine e(g, [&](const sim::LocalView& v) {
+    return std::make_unique<GlobalFunctionProcess>(
+        v, config, static_cast<sim::Word>(v.self) + 1);
+  }, 5);
+  return e.run(200'000'000).rounds;
+}
+
+}  // namespace
+}  // namespace mmn
+
+int main() {
+  using namespace mmn;
+  bench::print_header("E4", "time vs n on rings (figure series, log-log)");
+  bench::print_note(
+      "expected fitted exponents: mm_* ~ 0.5 (sqrt) plus log factors —\n"
+      "measured ~0.67 over this range because log n and log* n still grow;\n"
+      "p2p and bcast ~ 1.0 (linear).  Crossovers mark where the multimedia\n"
+      "network starts beating each single medium.");
+  Table table({"n", "mm_det", "mm_rand", "p2p(d known)", "bcast"});
+  std::vector<double> ns, det, rnd, p2p, bc;
+  for (NodeId n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    const Graph g = ring(n, 7);
+    GlobalFunctionConfig config;
+    config.op = SemigroupOp::kMin;
+    config.variant = GlobalFunctionConfig::Variant::kDeterministic;
+    config.balanced = true;
+    const std::uint64_t t_det = time_mm(g, config);
+    config.variant = GlobalFunctionConfig::Variant::kRandomized;
+    config.balanced = false;
+    const std::uint64_t t_rand = time_mm(g, config);
+
+    P2pGlobalConfig pconfig;
+    pconfig.op = SemigroupOp::kMin;
+    pconfig.known_diameter = static_cast<std::int32_t>(n / 2);
+    sim::Engine pe(g, [&](const sim::LocalView& v) {
+      return std::make_unique<P2pGlobalProcess>(
+          v, pconfig, static_cast<sim::Word>(v.self) + 1);
+    }, 5);
+    const std::uint64_t t_p2p = pe.run(200'000'000).rounds;
+
+    sim::Engine be(g, [&](const sim::LocalView& v) {
+      return std::make_unique<BroadcastGlobalProcess>(
+          v, SemigroupOp::kMin, static_cast<sim::Word>(v.self) + 1);
+    }, 5);
+    const std::uint64_t t_bc = be.run(200'000'000).rounds;
+
+    table.begin_row();
+    table.add(std::uint64_t{n});
+    table.add(t_det);
+    table.add(t_rand);
+    table.add(t_p2p);
+    table.add(t_bc);
+    ns.push_back(n);
+    det.push_back(static_cast<double>(t_det));
+    rnd.push_back(static_cast<double>(t_rand));
+    p2p.push_back(static_cast<double>(t_p2p));
+    bc.push_back(static_cast<double>(t_bc));
+  }
+  table.print(std::cout);
+
+  Table fits({"series", "fitted exponent (log-log slope)"});
+  fits.begin_row();
+  fits.add(std::string("mm_det"));
+  fits.add(bench::fitted_exponent(ns, det), 3);
+  fits.begin_row();
+  fits.add(std::string("mm_rand"));
+  fits.add(bench::fitted_exponent(ns, rnd), 3);
+  fits.begin_row();
+  fits.add(std::string("p2p"));
+  fits.add(bench::fitted_exponent(ns, p2p), 3);
+  fits.begin_row();
+  fits.add(std::string("bcast"));
+  fits.add(bench::fitted_exponent(ns, bc), 3);
+  fits.print(std::cout);
+  return 0;
+}

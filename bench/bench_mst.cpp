@@ -1,0 +1,99 @@
+// E6 — Minimum spanning tree (Section 6, R7).
+//
+// The multimedia MST at O(sqrt(n) log n) time against the pure point-to-point
+// synchronous Boruvka baseline at Theta(n log n), with exact-equality checks
+// against Kruskal's unique MST.  time/bound normalizes the multimedia time by
+// sqrt(n) log n; a flat column reproduces the claimed shape.
+#include <memory>
+#include <set>
+
+#include "baselines/p2p_mst.hpp"
+#include "common.hpp"
+#include "core/mst.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+namespace {
+
+template <typename Process>
+std::vector<EdgeId> collect_edges(const sim::Engine& engine) {
+  std::set<EdgeId> edges;
+  for (NodeId v = 0; v < engine.num_nodes(); ++v) {
+    for (EdgeId e :
+         static_cast<const Process&>(engine.process(v)).mst_edges()) {
+      edges.insert(e);
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+void run_row(Table& table, const std::string& topo, const Graph& g,
+             bool run_baseline) {
+  const NodeId n = g.num_nodes();
+  const MstResult truth = kruskal_mst(g);
+
+  sim::Engine mm(g, [](const sim::LocalView& v) {
+    return std::make_unique<MstProcess>(v);
+  }, 7);
+  const Metrics mm_metrics = mm.run(200'000'000);
+  const bool mm_exact = collect_edges<MstProcess>(mm) == truth.edges;
+  const int phases =
+      static_cast<const MstProcess&>(mm.process(0)).phases_used();
+
+  std::uint64_t p2p_rounds = 0;
+  bool p2p_exact = true;
+  if (run_baseline) {
+    sim::Engine p2p(g, [](const sim::LocalView& v) {
+      return std::make_unique<P2pMstProcess>(v);
+    }, 7);
+    p2p_rounds = p2p.run(400'000'000).rounds;
+    p2p_exact = collect_edges<P2pMstProcess>(p2p) == truth.edges;
+  }
+
+  const double bound =
+      std::sqrt(static_cast<double>(n)) * std::max(1, ilog2_ceil(n));
+  table.begin_row();
+  table.add(topo);
+  table.add(std::uint64_t{n});
+  table.add(std::uint64_t{g.num_edges()});
+  table.add(mm_metrics.rounds);
+  table.add(static_cast<double>(mm_metrics.rounds) / bound, 2);
+  table.add(mm_metrics.p2p_messages);
+  table.add(std::int64_t{phases});
+  table.add(std::string(mm_exact ? "yes" : "NO"));
+  if (run_baseline) {
+    table.add(p2p_rounds);
+    table.add(static_cast<double>(p2p_rounds) / mm_metrics.rounds, 2);
+    table.add(std::string(p2p_exact ? "yes" : "NO"));
+  } else {
+    table.add(std::string("-"));
+    table.add(std::string("-"));
+    table.add(std::string("-"));
+  }
+}
+
+}  // namespace
+}  // namespace mmn
+
+int main() {
+  using namespace mmn;
+  bench::print_header("E6", "minimum spanning tree (Section 6)");
+  bench::print_note(
+      "mm = three-stage multimedia MST; p2p = synchronous Boruvka baseline\n"
+      "(Theta(n log n), run for the smaller sizes).  '=MST' compares edge\n"
+      "sets with Kruskal exactly.");
+  Table table({"topology", "n", "m", "mm_time", "mm/sqrt(n)logn", "mm_msgs",
+               "phases", "=MST", "p2p_time", "p2p/mm", "=MST(p2p)"});
+  for (NodeId n : {64u, 256u, 1024u, 4096u}) {
+    run_row(table, "random(2n)", random_connected(n, 2 * n, 41), n <= 256);
+  }
+  for (NodeId side : {16u, 48u}) {
+    run_row(table, "grid", grid(side, side, 43), side <= 16);
+  }
+  run_row(table, "ring", ring(512, 47), false);
+  run_row(table, "complete", complete(64, 53), true);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E1 — Deterministic partitioning (Section 3, R1).
+//
+// Regenerates the paper's partition guarantees as a table: for each topology
+// and n, the fragment count (<= sqrt(n)), minimum fragment size (>= sqrt(n)),
+// maximum radius (<= 2^{L+3} - 1 for L = partition_phases(n)), and the
+// measured time and message complexity normalized by the paper's bounds
+// O(sqrt(n) log* n) and O(m + n log n log* n).  Flat normalized columns
+// reproduce the claimed shape.
+#include <memory>
+
+#include "common.hpp"
+#include "core/partition.hpp"
+#include "core/partition_det.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+namespace {
+
+void run_row(Table& table, const std::string& topo, const Graph& g) {
+  const NodeId n = g.num_nodes();
+  const EdgeId m = g.num_edges();
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
+  }, 7);
+  const Metrics metrics = engine.run(80'000'000);
+  const FragmentAccessor acc = direct_fragment_accessor();
+  const Forest forest = collect_forest(engine, acc);
+  const ForestStats stats = analyze_forest(g, forest, "bench E1");
+  const bool in_mst = forest_within_mst(forest, kruskal_mst(g));
+
+  const int L = partition_phases(n);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double time_bound = sqrt_n * std::max(1, log_star(n));
+  const double msg_bound =
+      static_cast<double>(m) +
+      static_cast<double>(n) * ilog2_ceil(n) * std::max(1, log_star(n));
+
+  table.begin_row();
+  table.add(topo);
+  table.add(std::uint64_t{n});
+  table.add(std::uint64_t{m});
+  table.add(std::uint64_t{stats.num_trees});
+  table.add(static_cast<std::uint64_t>(isqrt(n)));
+  table.add(std::uint64_t{stats.min_size});
+  table.add(std::uint64_t{stats.max_radius});
+  table.add(std::uint64_t{(1u << (L + 3)) - 1});
+  table.add(std::string(in_mst ? "yes" : "NO"));
+  table.add(metrics.rounds);
+  table.add(static_cast<double>(metrics.rounds) / time_bound, 2);
+  table.add(metrics.p2p_messages);
+  table.add(static_cast<double>(metrics.p2p_messages) / msg_bound, 2);
+}
+
+}  // namespace
+}  // namespace mmn
+
+int main() {
+  using namespace mmn;
+  bench::print_header("E1", "deterministic partitioning (Section 3)");
+  bench::print_note(
+      "claims: #frag <= sqrt(n); min size >= sqrt(n); radius <= 2^{L+3}-1;\n"
+      "time = O(sqrt(n) log* n); msgs = O(m + n log n log* n); every tree a\n"
+      "subtree of the unique MST.  Flat normalized columns = reproduced.");
+  Table table({"topology", "n", "m", "#frag", "sqrt(n)", "min_size",
+               "max_rad", "rad_bound", "in_MST", "time", "time/bound", "msgs",
+               "msgs/bound"});
+  for (NodeId n : {64u, 256u, 1024u, 4096u}) {
+    run_row(table, "random(2n)", random_connected(n, 2 * n, 11));
+  }
+  for (NodeId n : {256u, 1024u, 4096u}) {
+    run_row(table, "random(dense)",
+            random_connected(n, n * static_cast<std::uint32_t>(isqrt(n)) / 2, 13));
+  }
+  for (NodeId side : {16u, 32u, 64u}) {
+    run_row(table, "grid", grid(side, side, 17));
+  }
+  for (NodeId n : {256u, 1024u, 4096u}) {
+    run_row(table, "ring", ring(n, 19));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E2 — Randomized partitioning (Section 4, Theorem 1; R2/R3).
+//
+// Regenerates Theorem 1: the expected number of trees is O(sqrt(n)) —
+// reported as E[#trees]/sqrt(n) over seeds, which should stay flat in n —
+// together with the hard radius bound 4*sqrt(n), time O(sqrt(n) log* n),
+// messages O(m + n log* n), and the Las Vegas wrapper's restart rate.
+#include <memory>
+
+#include "common.hpp"
+#include "core/partition.hpp"
+#include "core/partition_rand.hpp"
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+namespace {
+
+void run_row(Table& table, const std::string& topo, const Graph& g,
+             int seeds) {
+  const NodeId n = g.num_nodes();
+  const EdgeId m = g.num_edges();
+  double trees = 0;
+  double rounds = 0;
+  double msgs = 0;
+  std::uint32_t max_radius = 0;
+  int attempts = 0;
+  for (int s = 0; s < seeds; ++s) {
+    sim::Engine engine(g, [](const sim::LocalView& v) {
+      return std::make_unique<LasVegasPartitionProcess>(v,
+                                                        PartitionRandConfig{});
+    }, 100 + s);
+    const Metrics metrics = engine.run(80'000'000);
+    const FragmentAccessor acc = direct_fragment_accessor();
+    const ForestStats stats =
+        analyze_forest(g, collect_forest(engine, acc), "bench E2");
+    trees += static_cast<double>(stats.num_trees);
+    rounds += static_cast<double>(metrics.rounds);
+    msgs += static_cast<double>(metrics.p2p_messages);
+    max_radius = std::max(max_radius, stats.max_radius);
+    attempts +=
+        static_cast<const LasVegasPartitionProcess&>(engine.process(0))
+            .attempts();
+  }
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double time_bound = sqrt_n * std::max(1, log_star(n));
+  const double msg_bound = static_cast<double>(m) +
+                           static_cast<double>(n) * std::max(1, log_star(n));
+  table.begin_row();
+  table.add(topo);
+  table.add(std::uint64_t{n});
+  table.add(std::uint64_t{m});
+  table.add(trees / seeds, 1);
+  table.add(trees / seeds / sqrt_n, 2);
+  table.add(std::uint64_t{max_radius});
+  table.add(static_cast<std::uint64_t>(4 * isqrt_ceil(n)));
+  table.add(rounds / seeds / time_bound, 2);
+  table.add(msgs / seeds / msg_bound, 2);
+  table.add(static_cast<double>(attempts) / seeds, 2);
+}
+
+}  // namespace
+}  // namespace mmn
+
+int main() {
+  using namespace mmn;
+  bench::print_header("E2", "randomized partitioning (Section 4, Theorem 1)");
+  bench::print_note(
+      "claims: E[#trees] = O(sqrt(n)) (flat E/sqrt(n) column); radius <=\n"
+      "4 sqrt(n) always; time O(sqrt(n) log* n); msgs O(m + n log* n); the\n"
+      "Las Vegas verification rarely restarts (attempts ~ 1).");
+  Table table({"topology", "n", "m", "E[#trees]", "E/sqrt(n)", "max_rad",
+               "rad_bound", "time/bound", "msgs/bound", "attempts"});
+  for (NodeId n : {64u, 256u, 1024u, 4096u}) {
+    run_row(table, "random(2n)", random_connected(n, 2 * n, 23),
+            n >= 4096 ? 5 : 10);
+  }
+  for (NodeId side : {16u, 32u, 64u}) {
+    run_row(table, "grid", grid(side, side, 29), side >= 64 ? 5 : 10);
+  }
+  for (NodeId n : {256u, 1024u}) {
+    run_row(table, "ring", ring(n, 31), 10);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E11 — Engineering benchmark: simulator throughput (google-benchmark).
+//
+// Wall-clock cost of the engines themselves — rounds per second of the
+// synchronous engine under the deterministic partition workload, raw channel
+// slot resolution, and the asynchronous engine under the synchronizer.  This
+// is the only wall-clock bench; all experiment tables use model metrics.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/p2p_global.hpp"
+#include "core/global_function.hpp"
+#include "core/partition_det.hpp"
+#include "core/synchronizer.hpp"
+#include "graph/generators.hpp"
+#include "sim/channel.hpp"
+
+namespace mmn {
+namespace {
+
+void BM_PartitionDet(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = random_connected(n, 2 * n, 7);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sim::Engine engine(g, [](const sim::LocalView& v) {
+      return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
+    }, 7);
+    rounds += engine.run(80'000'000).rounds;
+  }
+  state.counters["sim_rounds/s"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PartitionDet)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GlobalMinRandomized(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = ring(n, 7);
+  GlobalFunctionConfig config;
+  config.op = SemigroupOp::kMin;
+  config.variant = GlobalFunctionConfig::Variant::kRandomized;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    sim::Engine engine(g, [&](const sim::LocalView& v) {
+      return std::make_unique<GlobalFunctionProcess>(
+          v, config, static_cast<sim::Word>(v.self) + 1);
+    }, 7);
+    rounds += engine.run(80'000'000).rounds;
+  }
+  state.counters["sim_rounds/s"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GlobalMinRandomized)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ChannelResolve(benchmark::State& state) {
+  sim::Channel channel;
+  Metrics metrics;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    channel.write(0, sim::Packet(1, {42}));
+    channel.write(1, sim::Packet(1, {43}));
+    benchmark::DoNotOptimize(channel.resolve(metrics));
+    ++slots;
+  }
+  state.counters["slots/s"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ChannelResolve);
+
+void BM_SynchronizedAsyncRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = grid(n, n, 7);
+  P2pGlobalConfig config;
+  config.op = SemigroupOp::kSum;
+  auto factory = [&](const sim::LocalView& v) -> std::unique_ptr<sim::Process> {
+    return std::make_unique<P2pGlobalProcess>(
+        v, config, static_cast<sim::Word>(v.self) + 1);
+  };
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    sim::AsyncEngine engine(g, synchronize(factory), 7, 1);
+    slots += engine.run(80'000'000).rounds;
+  }
+  state.counters["slots/s"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SynchronizedAsyncRun)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace mmn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E8 — Network-size computation and estimation (Sections 7.3/7.4, R10/R11).
+//
+// Deterministic: the partition-with-check computes the exact n in
+// O(sqrt(n) log id) time — the table reports exactness and time normalized by
+// sqrt(n) * log2(n).  Randomized (Greenberg–Ladner): channel-only coin-flip
+// rounds; the table reports the median estimate over seeds, the fraction
+// within a factor of 4 of the truth, and the slot count (~log2 n).
+#include <algorithm>
+#include <memory>
+
+#include "common.hpp"
+#include "core/size.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+namespace {
+
+void det_row(Table& table, const Graph& g) {
+  const NodeId n = g.num_nodes();
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<DeterministicSizeProcess>(v);
+  }, 7);
+  const Metrics metrics = engine.run(200'000'000);
+  const auto computed =
+      static_cast<const DeterministicSizeProcess&>(engine.process(0))
+          .network_size();
+  const double bound =
+      std::sqrt(static_cast<double>(n)) * std::max(1, ilog2_ceil(n));
+  table.begin_row();
+  table.add(std::uint64_t{n});
+  table.add(computed);
+  table.add(std::string(computed == n ? "yes" : "NO"));
+  table.add(metrics.rounds);
+  table.add(static_cast<double>(metrics.rounds) / bound, 2);
+}
+
+void rand_row(Table& table, NodeId n) {
+  const Graph g = ring(n, 1);
+  std::vector<std::uint64_t> estimates;
+  std::uint64_t slots_total = 0;
+  int within4 = 0;
+  int within8 = 0;
+  const int seeds = 31;
+  for (int s = 0; s < seeds; ++s) {
+    sim::Engine engine(g, [](const sim::LocalView& v) {
+      return std::make_unique<SizeEstimateProcess>(v);
+    }, 1000 + s);
+    slots_total += engine.run(100'000).rounds;
+    const auto est =
+        static_cast<const SizeEstimateProcess&>(engine.process(0)).estimate();
+    estimates.push_back(est);
+    if (est >= n / 4 && est <= static_cast<std::uint64_t>(n) * 4) ++within4;
+    if (est >= n / 8 && est <= static_cast<std::uint64_t>(n) * 8) ++within8;
+  }
+  std::sort(estimates.begin(), estimates.end());
+  table.begin_row();
+  table.add(std::uint64_t{n});
+  table.add(estimates[estimates.size() / 2]);
+  table.add(static_cast<double>(estimates[estimates.size() / 2]) / n, 2);
+  table.add(static_cast<double>(within4) / seeds, 2);
+  table.add(static_cast<double>(within8) / seeds, 2);
+  table.add(static_cast<double>(slots_total) / seeds, 1);
+}
+
+}  // namespace
+}  // namespace mmn
+
+int main() {
+  using namespace mmn;
+  bench::print_header("E8", "network size (Sections 7.3 and 7.4)");
+  bench::print_note(
+      "deterministic (partition + per-phase core scheduling): exact n in\n"
+      "O(sqrt(n) log id) time.");
+  Table det({"n", "computed", "exact", "time", "time/sqrt(n)logn"});
+  for (NodeId n : {64u, 256u, 1024u, 4096u}) {
+    det_row(det, random_connected(n, 2 * n, 61));
+  }
+  det.print(std::cout);
+
+  bench::print_note(
+      "\nrandomized Greenberg–Ladner estimate (channel only, 31 seeds):\n"
+      "2^k for the first idle coin-flip round; constant-factor accurate whp\n"
+      "with an inherent upward bias (idle rounds only get likely once\n"
+      "2^i exceeds n).");
+  Table rnd({"n", "median est", "median/n", "P[within 4x]", "P[within 8x]",
+             "slots (avg)"});
+  for (NodeId n : {64u, 256u, 1024u, 4096u}) {
+    rand_row(rnd, n);
+  }
+  rnd.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment binaries.
+//
+// Each bench regenerates one table (or figure series) from DESIGN.md /
+// EXPERIMENTS.md.  "time" is simulated rounds (model time: message delay =
+// slot length = 1), "msgs" is point-to-point messages; both are deterministic
+// per seed.  Normalized columns divide by the paper's bound so a flat column
+// across n reproduces the claimed shape.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+#include "support/metrics.hpp"
+#include "support/table.hpp"
+
+namespace mmn::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+inline void print_note(const std::string& note) {
+  std::cout << note << "\n";
+}
+
+/// Least-squares slope of log2(y) against log2(x) — the empirical scaling
+/// exponent of a series (0.5 for sqrt, 1.0 for linear).
+inline double fitted_exponent(const std::vector<double>& x,
+                              const std::vector<double>& y) {
+  const std::size_t k = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double lx = std::log2(x[i]);
+    const double ly = std::log2(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = static_cast<double>(k) * sxx - sx * sx;
+  return (static_cast<double>(k) * sxy - sx * sy) / denom;
+}
+
+}  // namespace mmn::bench

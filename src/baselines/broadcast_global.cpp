@@ -1,0 +1,47 @@
+#include "baselines/broadcast_global.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn {
+namespace {
+
+constexpr std::uint16_t kInput = 181;  // [input] TDMA broadcast
+
+}  // namespace
+
+BroadcastGlobalProcess::BroadcastGlobalProcess(const sim::LocalView& view,
+                                               SemigroupOp op, sim::Word input)
+    : view_(view), op_(op), input_(input) {}
+
+StepSpec BroadcastGlobalProcess::step_spec(std::uint64_t) const {
+  // Exactly n TDMA slots; the final slot is observed during the round that
+  // ends the step (the framework delivers it before finishing).
+  return {StepKind::kFixed, view_.n};
+}
+
+void BroadcastGlobalProcess::on_message(std::uint64_t, const sim::Received&,
+                                        sim::NodeContext&) {
+  MMN_ASSERT(false, "the broadcast baseline never uses point-to-point links");
+}
+
+void BroadcastGlobalProcess::step_round(std::uint64_t, sim::NodeContext& ctx) {
+  if (rounds_in_step() == view_.self) {
+    ctx.channel_write(sim::Packet(kInput, {input_}));
+  }
+}
+
+void BroadcastGlobalProcess::on_slot(std::uint64_t,
+                                     const sim::SlotObservation& obs,
+                                     sim::NodeContext&) {
+  if (!obs.success()) return;
+  acc_ = heard_ == 0 ? obs.payload[0] : semigroup_apply(op_, acc_, obs.payload[0]);
+  ++heard_;
+}
+
+sim::Word BroadcastGlobalProcess::result() const {
+  MMN_REQUIRE(finished(), "baseline still running");
+  MMN_ASSERT(heard_ == view_.n, "missed a TDMA slot");
+  return acc_;
+}
+
+}  // namespace mmn

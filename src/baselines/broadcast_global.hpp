@@ -1,0 +1,45 @@
+// Pure broadcast-channel baseline for global sensitive functions.
+//
+// The strongest algorithm a channel-only network can run when ids and n are
+// globally known: a fixed TDMA schedule in which slot v belongs to node v,
+// every node broadcasts its input once, and everyone folds the n overheard
+// values.  Exactly n slots — Theorem 2 (Claim 3) proves any channel-only
+// algorithm needs at least n/2, so this baseline is within 2x of optimal and
+// the multimedia algorithm's O(sqrt(n) polylog) win over it is structural.
+// No point-to-point messages are used at all.
+#pragma once
+
+#include <cstdint>
+
+#include "core/global_function.hpp"
+#include "core/stepped.hpp"
+
+namespace mmn {
+
+class BroadcastGlobalProcess final : public SteppedProcess {
+ public:
+  BroadcastGlobalProcess(const sim::LocalView& view, SemigroupOp op,
+                         sim::Word input);
+
+  /// The fold of all inputs; valid once finished (known to every node).
+  sim::Word result() const;
+
+ protected:
+  std::uint64_t num_steps() const override { return 1; }
+  StepSpec step_spec(std::uint64_t) const override;
+  void step_begin(std::uint64_t, sim::NodeContext&) override {}
+  void on_message(std::uint64_t, const sim::Received&,
+                  sim::NodeContext&) override;
+  void step_round(std::uint64_t, sim::NodeContext& ctx) override;
+  void on_slot(std::uint64_t, const sim::SlotObservation& obs,
+               sim::NodeContext&) override;
+
+ private:
+  const sim::LocalView& view_;
+  SemigroupOp op_;
+  sim::Word input_;
+  sim::Word acc_ = 0;
+  std::uint32_t heard_ = 0;
+};
+
+}  // namespace mmn

@@ -1,0 +1,68 @@
+// Pure point-to-point baseline for global sensitive functions.
+//
+// This is what a network *without* the multiaccess channel can do, and what
+// Theorem 2's Omega(d) lower bound is measured against: flood the maximum id
+// to elect a leader and build its BFS tree, converge-cast the fold, and
+// broadcast the result back — three stages of ~diameter rounds each, using no
+// channel slots at all.
+//
+// Stage lengths must be precomputed (there is no channel to barrier on): with
+// `known_diameter` set they are d + 1 rounds each, the Omega(d)-matching
+// optimum; otherwise the only safe bound in an arbitrary unknown network is
+// n, matching Corollary 3's Omega(n) for the general case.
+#pragma once
+
+#include <cstdint>
+
+#include "core/global_function.hpp"
+#include "core/stepped.hpp"
+
+namespace mmn {
+
+struct P2pGlobalConfig {
+  SemigroupOp op = SemigroupOp::kMin;
+  /// Exact network diameter if known a priori, or -1 (stage length = n).
+  std::int32_t known_diameter = -1;
+};
+
+class P2pGlobalProcess final : public SteppedProcess {
+ public:
+  P2pGlobalProcess(const sim::LocalView& view, P2pGlobalConfig config,
+                   sim::Word input);
+
+  /// The fold of all inputs; valid once finished (known to every node).
+  sim::Word result() const;
+
+ protected:
+  std::uint64_t num_steps() const override { return 4; }
+  StepSpec step_spec(std::uint64_t step) const override;
+  void step_begin(std::uint64_t step, sim::NodeContext& ctx) override;
+  void on_message(std::uint64_t step, const sim::Received& msg,
+                  sim::NodeContext& ctx) override;
+  void step_round(std::uint64_t step, sim::NodeContext& ctx) override;
+
+ private:
+  bool is_leader() const { return best_id_ == view_.self; }
+  void send_fold_if_ready(sim::NodeContext& ctx);
+
+  const sim::LocalView& view_;
+  SemigroupOp op_;
+  std::uint64_t stage_len_;
+  sim::Word acc_;
+
+  // Flood state: the BFS tree of the maximum id.
+  NodeId best_id_;
+  std::uint32_t best_dist_ = 0;
+  EdgeId parent_edge_ = kNoEdge;
+  bool improved_ = false;
+
+  // Fold state.
+  std::uint32_t children_ = 0;
+  std::uint32_t received_ = 0;
+  bool sent_fold_ = false;
+
+  bool have_result_ = false;
+  sim::Word result_ = 0;
+};
+
+}  // namespace mmn

@@ -1,0 +1,78 @@
+// Pure point-to-point MST baseline: synchronous Boruvka (GHS-style).
+//
+// What a network without the channel can do, for the Section 6 comparison.
+// Every fragment finds its minimum-weight outgoing edge with GHS
+// TEST/ACCEPT/REJECT probing and a convergecast, fragments merge along the
+// chosen edges (the two-fragments-one-edge cycle is rooted at the higher
+// core id), and the new core floods the merged tree with its id.  Without a
+// channel there is no termination detector, so every phase runs a
+// precomputed worst-case length of Theta(n) rounds — fragment radii are not
+// controlled, and a Boruvka fragment can be a Theta(n)-deep chain.  With
+// ceil(log2 n) phases the total is Theta(n log n) time, the classic GHS
+// bound the multimedia algorithm's O(sqrt(n) log n) is measured against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stepped.hpp"
+
+namespace mmn {
+
+class P2pMstProcess final : public SteppedProcess {
+ public:
+  explicit P2pMstProcess(const sim::LocalView& view);
+
+  /// MST edges this node is an endpoint of (its final tree parent edge);
+  /// the union over nodes is the MST edge set.  Valid once finished.
+  std::vector<EdgeId> mst_edges() const;
+
+  NodeId fragment() const { return core_; }
+
+ protected:
+  std::uint64_t num_steps() const override;
+  StepSpec step_spec(std::uint64_t step) const override;
+  void step_begin(std::uint64_t step, sim::NodeContext& ctx) override;
+  void on_message(std::uint64_t step, const sim::Received& msg,
+                  sim::NodeContext& ctx) override;
+
+ private:
+  enum class Sub : int { kMwoe, kConnectSend, kConnectProc, kMerge, kNewFrag };
+
+  Sub sub_of(std::uint64_t step) const {
+    return static_cast<Sub>(step % 5);
+  }
+
+  bool is_core() const { return parent_ == view_.self; }
+  void probe_next_link(sim::NodeContext& ctx);
+  void maybe_send_report(sim::NodeContext& ctx);
+  void remove_child(EdgeId edge);
+  void mark_internal(EdgeId edge);
+
+  const sim::LocalView& view_;
+  int phases_;
+  std::uint64_t stage_len_;
+
+  NodeId core_;
+  NodeId parent_;
+  EdgeId parent_edge_ = kNoEdge;
+  std::vector<EdgeId> children_;
+  std::vector<bool> link_internal_;
+
+  // Per-phase MWOE state (same structure as the partition's).
+  std::size_t probe_index_ = 0;
+  bool probe_resolved_ = false;
+  Weight cand_weight_ = 0;
+  EdgeId cand_edge_ = kNoEdge;
+  std::uint32_t report_pending_ = 0;
+  Weight best_weight_ = 0;
+  EdgeId best_child_edge_ = kNoEdge;
+  bool report_sent_ = false;
+  bool have_mwoe_ = false;
+
+  EdgeId gate_edge_ = kNoEdge;
+  std::vector<std::pair<EdgeId, NodeId>> pending_connects_;
+  bool is_f_root_ = false;
+};
+
+}  // namespace mmn

@@ -1,0 +1,57 @@
+#include "channel/capetanakis.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+CapetanakisResolver::CapetanakisResolver(std::uint64_t id_bound,
+                                         std::optional<std::uint64_t> my_id,
+                                         bool massey_skip)
+    : my_id_(my_id), massey_skip_(massey_skip) {
+  MMN_REQUIRE(id_bound >= 1, "id space must be non-empty");
+  MMN_REQUIRE(!my_id || *my_id < id_bound, "id outside the id space");
+  stack_.push_back(Interval{0, id_bound, false});
+}
+
+bool CapetanakisResolver::should_transmit() const {
+  if (!my_id_ || succeeded_ || stack_.empty()) return false;
+  const Interval& top = stack_.back();
+  return *my_id_ >= top.lo && *my_id_ < top.hi;
+}
+
+void CapetanakisResolver::observe(const sim::SlotObservation& obs,
+                                  bool success_was_mine) {
+  MMN_REQUIRE(!stack_.empty(), "observe after traversal completed");
+  const Interval top = stack_.back();
+  stack_.pop_back();
+  switch (obs.state) {
+    case sim::SlotState::kIdle:
+      if (massey_skip_ && !top.right_sibling && !stack_.empty() &&
+          stack_.back().right_sibling) {
+        // Massey's improvement: the collided parent minus an idle left half
+        // leaves >= 2 stations in the right half — skip its probe and split.
+        const Interval right = stack_.back();
+        stack_.pop_back();
+        MMN_ASSERT(right.hi - right.lo >= 2,
+                   "skip requires a splittable interval");
+        const std::uint64_t mid = right.lo + (right.hi - right.lo) / 2;
+        stack_.push_back(Interval{mid, right.hi, true});
+        stack_.push_back(Interval{right.lo, mid, false});
+      }
+      break;
+    case sim::SlotState::kSuccess:
+      successes_.push_back(obs.payload);
+      if (success_was_mine) succeeded_ = true;
+      break;
+    case sim::SlotState::kCollision: {
+      MMN_ASSERT(top.hi - top.lo >= 2,
+                 "collision in a singleton interval: duplicate station ids");
+      const std::uint64_t mid = top.lo + (top.hi - top.lo) / 2;
+      stack_.push_back(Interval{mid, top.hi, true});   // right probed second
+      stack_.push_back(Interval{top.lo, mid, false});  // left probed first
+      break;
+    }
+  }
+}
+
+}  // namespace mmn

@@ -1,0 +1,65 @@
+// Capetanakis tree conflict-resolution (IEEE Trans. IT 1979).
+//
+// Schedules an unknown subset of stations (each holding a distinct id in
+// [0, id_bound)) onto the channel: repeatedly let every pending station whose
+// id lies in the current probe interval transmit; on collision split the
+// interval and probe the halves.  A depth-first traversal of the implied
+// binary tree over the id space resolves every station in
+// O(k log(id_bound / k) + k) slots for k stations.
+//
+// The traversal state is a pure function of the shared slot observations, so
+// every node — contender or listener — tracks an identical copy and detects
+// termination at the same slot.  This is what the paper uses to schedule the
+// O(sqrt(n)) fragment cores deterministically (Sections 5 and 6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/channel.hpp"
+
+namespace mmn {
+
+class CapetanakisResolver {
+ public:
+  /// A listener (never transmits) tracks the schedule with my_id == nullopt.
+  /// `massey_skip` enables the classic improvement: when a collision's left
+  /// half turns out idle, the right half must still hold >= 2 stations, so
+  /// its doomed probe is skipped and it is split immediately.  The resulting
+  /// schedule is identical; only the slot count shrinks.
+  CapetanakisResolver(std::uint64_t id_bound, std::optional<std::uint64_t> my_id,
+                      bool massey_skip = false);
+
+  /// True if this node must transmit in the upcoming slot.
+  bool should_transmit() const;
+
+  /// Feeds the outcome of the slot everyone just observed.
+  /// `success_was_mine` — the caller saw its own id as the slot writer.
+  void observe(const sim::SlotObservation& obs, bool success_was_mine = false);
+
+  /// Traversal complete: every contending station has had a success slot.
+  bool done() const { return stack_.empty(); }
+
+  /// True once this node's own transmission went through.
+  bool succeeded() const { return succeeded_; }
+
+  /// Payloads of all success slots, in schedule order (identical at every
+  /// node — the channel is heard by all).
+  const std::vector<sim::Packet>& successes() const { return successes_; }
+
+ private:
+  struct Interval {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;       // half open [lo, hi)
+    bool right_sibling = false;  // this interval is a collision's right half
+  };
+
+  std::optional<std::uint64_t> my_id_;
+  bool massey_skip_;
+  bool succeeded_ = false;
+  std::vector<Interval> stack_;  // top = back
+  std::vector<sim::Packet> successes_;
+};
+
+}  // namespace mmn

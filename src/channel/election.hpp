@@ -1,0 +1,54 @@
+// Deterministic leader election on the multiaccess channel.
+//
+// The O(log n) symmetry-breaking scheme the paper sketches in Section 2:
+// candidates compare ids bit by bit from the most significant bit down.  In
+// round b every remaining candidate whose bit b is 1 transmits a busy tone;
+// if the slot is non-idle, candidates with bit b == 0 withdraw.  After one
+// round per bit, exactly one candidate — the one with the maximum id —
+// remains.  Every node (candidate or not) reconstructs the winner's id from
+// the slot states alone: bit b of the leader is 1 iff round b was non-idle.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+
+namespace mmn {
+
+class ChannelElection {
+ public:
+  /// id_bound: ids lie in [0, id_bound).  candidate_id: this node's id if it
+  /// runs for leadership, or kNoCandidate for a pure listener.
+  static constexpr std::uint64_t kNoCandidate = static_cast<std::uint64_t>(-1);
+
+  ChannelElection(std::uint64_t id_bound, std::uint64_t candidate_id);
+
+  bool should_transmit() const;
+
+  void observe(const sim::SlotObservation& obs);
+
+  bool done() const { return bit_ < 0; }
+
+  /// The maximum candidate id; valid once done().  If no candidate ran at
+  /// all, the reconstructed id is 0 and `any_candidate()` is false.
+  std::uint64_t leader() const;
+
+  /// True if at least one non-idle slot was observed (some candidate exists).
+  bool any_candidate() const { return any_candidate_; }
+
+  /// True if this node won the election; valid once done().
+  bool won() const;
+
+  /// Total rounds the election takes (same for every node).
+  int total_rounds() const { return total_bits_; }
+
+ private:
+  std::uint64_t candidate_id_;
+  bool in_race_;
+  bool any_candidate_ = false;
+  int total_bits_;
+  int bit_;  // bit probed in the upcoming slot; -1 when done
+  std::uint64_t leader_bits_ = 0;
+};
+
+}  // namespace mmn

@@ -1,0 +1,61 @@
+// Randomized channel scheduling (Metcalfe–Boggs 1976 / Rivest's
+// pseudo-Bayesian formulation).
+//
+// The paper's randomized global stage schedules the O(sqrt(n)) fragment roots
+// in O(1) expected slots per root by Ethernet-style randomized resolution.
+// We implement the pseudo-Bayesian variant: every listener maintains a shared
+// backlog estimate nu; each pending station transmits with probability
+// min(1, 1/nu); nu is updated identically at every node from the public slot
+// outcome (collision: nu += 1/(e-2); otherwise nu = max(1, nu - 1)).  The
+// expected throughput approaches 1/e, i.e. ~e slots per station.
+//
+// Termination detection: the channel alternates between a CONTENTION lane
+// (even local slots) and a BUSY-TONE lane (odd local slots) in which every
+// still-pending station transmits.  An idle busy-tone slot proves global
+// completion to every listener.  This at most doubles the slot count and is
+// assembled from the same busy-tone primitive as the Section 7 synchronizer.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+
+class RandomizedScheduler {
+ public:
+  /// initial_backlog: shared a-priori estimate of the number of stations
+  /// (the paper uses the 2*sqrt(n) bound certified by the Las Vegas
+  /// partition).  pending: whether this node has a payload to schedule.
+  RandomizedScheduler(double initial_backlog, bool pending);
+
+  /// Decides transmission for the upcoming slot; must be called exactly once
+  /// per slot before observe().  Draws randomness only in contention lanes.
+  bool should_transmit(Rng& rng);
+
+  /// Feeds the public outcome of the slot; `success_was_mine` as seen by the
+  /// caller (obs.writer == own id).
+  void observe(const sim::SlotObservation& obs, bool success_was_mine = false);
+
+  /// All stations done (observed as an idle busy-tone slot).
+  bool done() const { return done_; }
+
+  /// This station's payload has been transmitted successfully.
+  bool succeeded() const { return !pending_; }
+
+  /// Payloads of all success slots in schedule order.
+  const std::vector<sim::Packet>& successes() const { return successes_; }
+
+ private:
+  bool contention_lane() const { return (slot_parity_ & 1) == 0; }
+
+  double backlog_;
+  bool pending_;
+  bool done_ = false;
+  bool transmitting_ = false;  // decision made for the slot in progress
+  std::uint64_t slot_parity_ = 0;
+  std::vector<sim::Packet> successes_;
+};
+
+}  // namespace mmn

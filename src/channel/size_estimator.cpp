@@ -1,0 +1,33 @@
+#include "channel/size_estimator.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+bool SizeEstimator::should_transmit(Rng& rng) {
+  MMN_REQUIRE(!done_, "estimator already finished");
+  return rng.next_bernoulli(std::ldexp(1.0, -round_));
+}
+
+void SizeEstimator::observe(const sim::SlotObservation& obs) {
+  MMN_REQUIRE(!done_, "observe after estimator finished");
+  if (obs.idle()) {
+    done_ = true;
+  } else {
+    ++round_;
+  }
+}
+
+std::uint64_t SizeEstimator::estimate() const {
+  MMN_REQUIRE(done_, "estimation still in progress");
+  return std::uint64_t{1} << std::min(round_, 62);
+}
+
+int SizeEstimator::rounds() const {
+  MMN_REQUIRE(done_, "estimation still in progress");
+  return round_;
+}
+
+}  // namespace mmn

@@ -1,0 +1,40 @@
+// Greenberg–Ladner randomized network-size estimation (Section 7.4).
+//
+// All nodes run rounds of coin tosses; in round i every node transmits a busy
+// tone with probability 2^{-i}.  The protocol stops at the first idle slot,
+// after k rounds; 2^k is then, with high probability, an estimate of n up to
+// a constant multiplicative factor.  Needs nothing but the channel — it works
+// with anonymous nodes and unknown n, and the paper notes the same coin flips
+// can mint random ids when none are given.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+
+class SizeEstimator {
+ public:
+  SizeEstimator() = default;
+
+  /// Decides transmission for the upcoming slot (probability 2^{-round}).
+  bool should_transmit(Rng& rng);
+
+  void observe(const sim::SlotObservation& obs);
+
+  bool done() const { return done_; }
+
+  /// 2^k where k is the index of the first idle round; valid once done().
+  std::uint64_t estimate() const;
+
+  /// Rounds consumed (== k); valid once done().
+  int rounds() const;
+
+ private:
+  int round_ = 1;
+  bool done_ = false;
+};
+
+}  // namespace mmn

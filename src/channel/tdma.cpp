@@ -1,0 +1,3 @@
+#include "channel/tdma.hpp"
+
+// TdmaSchedule is header-only; this translation unit anchors the library.

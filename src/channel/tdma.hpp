@@ -1,0 +1,39 @@
+// Fixed time-division schedule.
+//
+// The strongest possible pure-broadcast baseline: when the station set and
+// order are globally known a priori, station j owns slot j outright.  This is
+// what the Omega(n) broadcast lower bound (Theorem 2) is measured against —
+// even free, collision-less scheduling cannot beat n slots for a global
+// sensitive function.  Also used for the Boruvka phases of the multimedia
+// MST (Section 6), where the core order is fixed by a one-time Capetanakis
+// resolution.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+class TdmaSchedule {
+ public:
+  explicit TdmaSchedule(std::uint64_t stations) : stations_(stations) {
+    MMN_REQUIRE(stations >= 1, "TDMA needs at least one station");
+  }
+
+  /// The station that owns the given slot (slots cycle through stations).
+  std::uint64_t owner(std::uint64_t slot) const { return slot % stations_; }
+
+  /// True if `station` owns `slot`.
+  bool my_slot(std::uint64_t slot, std::uint64_t station) const {
+    return owner(slot) == station;
+  }
+
+  /// Number of slots for one full cycle over all stations.
+  std::uint64_t cycle_length() const { return stations_; }
+
+ private:
+  std::uint64_t stations_;
+};
+
+}  // namespace mmn

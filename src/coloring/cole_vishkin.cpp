@@ -1,0 +1,29 @@
+#include "coloring/cole_vishkin.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+Color cv_update(Color my_color, Color parent_color) {
+  MMN_REQUIRE(my_color != parent_color,
+              "cole-vishkin requires a proper coloring");
+  const int k = std::countr_zero(my_color ^ parent_color);
+  return 2 * static_cast<Color>(k) + ((my_color >> k) & 1);
+}
+
+Color cv_update_root(Color my_color) {
+  // Against the complemented virtual parent, the lowest differing bit is 0.
+  return my_color & 1;
+}
+
+int smallest_free_color(int forbidden_a, int forbidden_b) {
+  for (int c = 0; c < 3; ++c) {
+    if (c != forbidden_a && c != forbidden_b) return c;
+  }
+  MMN_ASSERT(false, "no free color in {0,1,2}");
+  return -1;  // unreachable
+}
+
+}  // namespace mmn

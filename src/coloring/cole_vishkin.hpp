@@ -1,0 +1,33 @@
+// Cole–Vishkin deterministic coin flipping (Inform. & Control 1986).
+//
+// One iteration maps a proper coloring with b-bit colors to a proper coloring
+// with (ceil(log2 b) + 1)-bit colors: each vertex finds the lowest bit k where
+// its color differs from its parent's and re-colors to 2k + (bit k of its own
+// color).  Roots play against a virtual parent — the complement of their own
+// color — which makes them differ at bit 0.  O(log* n) iterations shrink any
+// O(log n)-bit palette to {0..5}.
+//
+// These are the *per-vertex* update rules; both the sequential reference
+// (coloring/forest_coloring.hpp) and the distributed partitioner
+// (core/partition_det.cpp) call exactly these functions, so the two
+// executions agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace mmn {
+
+using Color = std::uint64_t;
+
+/// One Cole–Vishkin update for a vertex with a parent.
+/// Requires my_color != parent_color (proper coloring).
+Color cv_update(Color my_color, Color parent_color);
+
+/// One Cole–Vishkin update for a root (virtual parent = complemented color).
+Color cv_update_root(Color my_color);
+
+/// Smallest color in {0,1,2} distinct from both arguments (pass the same
+/// value twice to exclude only one).  Requires that a choice exists.
+int smallest_free_color(int forbidden_a, int forbidden_b);
+
+}  // namespace mmn

@@ -1,0 +1,103 @@
+#include "coloring/forest_coloring.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+
+std::vector<std::vector<std::uint32_t>> RootedForest::children() const {
+  std::vector<std::vector<std::uint32_t>> result(size());
+  for (std::uint32_t v = 0; v < size(); ++v) {
+    if (!is_root(v)) result[parent[v]].push_back(v);
+  }
+  return result;
+}
+
+void RootedForest::validate() const {
+  for (std::uint32_t v = 0; v < size(); ++v) {
+    MMN_ASSERT(parent[v] < size(), "forest parent out of range");
+    std::uint32_t cur = v;
+    std::size_t steps = 0;
+    while (!is_root(cur)) {
+      cur = parent[cur];
+      MMN_ASSERT(++steps <= size(), "cycle in forest parent pointers");
+    }
+  }
+}
+
+bool is_proper_coloring(const RootedForest& f, const std::vector<Color>& colors) {
+  MMN_REQUIRE(colors.size() == f.size(), "colors size mismatch");
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (!f.is_root(v) && colors[v] == colors[f.parent[v]]) return false;
+  }
+  return true;
+}
+
+std::vector<Color> cv_iteration(const RootedForest& f,
+                                const std::vector<Color>& colors) {
+  MMN_REQUIRE(colors.size() == f.size(), "colors size mismatch");
+  std::vector<Color> next(f.size());
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    next[v] = f.is_root(v) ? cv_update_root(colors[v])
+                           : cv_update(colors[v], colors[f.parent[v]]);
+  }
+  return next;
+}
+
+std::vector<Color> shift_down(const RootedForest& f,
+                              const std::vector<Color>& colors) {
+  MMN_REQUIRE(colors.size() == f.size(), "colors size mismatch");
+  std::vector<Color> next(f.size());
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (f.is_root(v)) {
+      next[v] = static_cast<Color>(smallest_free_color(
+          static_cast<int>(colors[v]), static_cast<int>(colors[v])));
+    } else {
+      next[v] = colors[f.parent[v]];
+    }
+  }
+  return next;
+}
+
+std::vector<Color> drop_color(const RootedForest& f,
+                              const std::vector<Color>& colors, Color c) {
+  MMN_REQUIRE(colors.size() == f.size(), "colors size mismatch");
+  const auto kids = f.children();
+  std::vector<Color> next = colors;
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (colors[v] != c) continue;
+    // After shift_down all children share one color; parent contributes the
+    // other forbidden value (roots only see their children).
+    const int child_color =
+        kids[v].empty() ? -1 : static_cast<int>(colors[kids[v].front()]);
+    for (std::uint32_t child : kids[v]) {
+      MMN_ASSERT(static_cast<int>(colors[child]) == child_color,
+                 "drop_color requires monochromatic children (run shift_down)");
+    }
+    const int parent_color =
+        f.is_root(v) ? -1 : static_cast<int>(colors[f.parent[v]]);
+    next[v] = static_cast<Color>(smallest_free_color(parent_color, child_color));
+  }
+  return next;
+}
+
+std::vector<Color> three_color(const RootedForest& f,
+                               const std::vector<Color>& ids, int bits) {
+  MMN_REQUIRE(bits >= 1 && bits <= 62, "id width out of range");
+  std::vector<Color> colors = ids;
+  MMN_REQUIRE(is_proper_coloring(f, colors),
+              "initial ids must be distinct along edges");
+  const int iterations = cole_vishkin_iterations(bits);
+  for (int i = 0; i < iterations; ++i) colors = cv_iteration(f, colors);
+  for (Color c : {Color{5}, Color{4}, Color{3}}) {
+    colors = shift_down(f, colors);
+    colors = drop_color(f, colors, c);
+  }
+  for (Color c : colors) MMN_ASSERT(c <= 2, "three_color left a color > 2");
+  MMN_ASSERT(is_proper_coloring(f, colors), "three_color broke properness");
+  return colors;
+}
+
+}  // namespace mmn

@@ -1,0 +1,60 @@
+// Goldberg–Plotkin–Shannon rooted-forest 3-coloring (STOC 1987) —
+// sequential reference implementation.
+//
+// This mirrors, step for step, the synchronized message exchanges the
+// distributed partitioner performs over the fragment graph F (Section 3,
+// Steps 3–5 of the paper).  Each function corresponds to one exchange round;
+// the distributed code applies the identical per-vertex rules from
+// coloring/cole_vishkin.hpp, so this module doubles as its test oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coloring/cole_vishkin.hpp"
+
+namespace mmn {
+
+/// A rooted forest on vertices 0..size-1: parent[v] == v exactly for roots.
+struct RootedForest {
+  std::vector<std::uint32_t> parent;
+
+  std::size_t size() const { return parent.size(); }
+  bool is_root(std::uint32_t v) const { return parent[v] == v; }
+
+  /// Child lists derived from the parent array.
+  std::vector<std::vector<std::uint32_t>> children() const;
+
+  /// Aborts (MMN_ASSERT) if the parent array has a cycle or out-of-range
+  /// entries.
+  void validate() const;
+};
+
+/// True if no vertex shares a color with its parent.
+bool is_proper_coloring(const RootedForest& f, const std::vector<Color>& colors);
+
+/// One synchronized Cole–Vishkin iteration over the whole forest.
+std::vector<Color> cv_iteration(const RootedForest& f,
+                                const std::vector<Color>& colors);
+
+/// GPS shift-down: every non-root adopts its parent's previous color; every
+/// root picks the smallest color in {0,1,2} different from its previous
+/// color.  Preserves properness and makes all siblings monochromatic.
+std::vector<Color> shift_down(const RootedForest& f,
+                              const std::vector<Color>& colors);
+
+/// Recolors every vertex of color `c` to the smallest color in {0,1,2} not
+/// used by its parent or children.  Requires: colors proper and, for every
+/// recolored vertex, all children monochromatic (guaranteed after
+/// shift_down).  Color class `c` is an independent set, so the simultaneous
+/// recoloring stays proper.
+std::vector<Color> drop_color(const RootedForest& f,
+                              const std::vector<Color>& colors, Color c);
+
+/// Full GPS pipeline: from initial colors (distinct ids, `bits` wide) to a
+/// proper 3-coloring with colors in {0,1,2}.  Runs
+/// cole_vishkin_iterations(bits) CV rounds, then drops colors 3, 4, 5.
+std::vector<Color> three_color(const RootedForest& f,
+                               const std::vector<Color>& ids, int bits);
+
+}  // namespace mmn

@@ -1,0 +1,120 @@
+#include "coloring/mis.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mmn {
+namespace {
+
+std::vector<bool> has_red_neighbor(const RootedForest& f,
+                                   const std::vector<Color>& colors) {
+  std::vector<bool> result(f.size(), false);
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (f.is_root(v)) continue;
+    const std::uint32_t p = f.parent[v];
+    if (colors[p] == kRed) result[v] = true;
+    if (colors[v] == kRed) result[p] = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Color> root_red_recolor(const RootedForest& f,
+                                    const std::vector<Color>& colors) {
+  MMN_REQUIRE(colors.size() == f.size(), "colors size mismatch");
+  MMN_REQUIRE(is_proper_coloring(f, colors), "coloring must be proper");
+  std::vector<Color> next(f.size());
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (f.is_root(v)) {
+      next[v] = kRed;  // both cases of the paper end with a red root
+    } else if (f.is_root(f.parent[v])) {
+      // A root's child: the root's case decides.
+      const Color root_color = colors[f.parent[v]];
+      if (root_color == kRed) {
+        next[v] = static_cast<Color>(smallest_free_color(
+            static_cast<int>(kRed), static_cast<int>(colors[v])));
+      } else {
+        next[v] = root_color;
+      }
+    } else {
+      next[v] = colors[f.parent[v]];  // adopt the father's color
+    }
+  }
+  MMN_ASSERT(is_proper_coloring(f, next), "root_red_recolor broke properness");
+  return next;
+}
+
+std::vector<Color> grow_red_mis(const RootedForest& f,
+                                const std::vector<Color>& colors) {
+  MMN_REQUIRE(colors.size() == f.size(), "colors size mismatch");
+  std::vector<Color> cur = colors;
+  for (Color pass : {kBlue, kGreen}) {
+    const std::vector<bool> near_red = has_red_neighbor(f, cur);
+    for (std::uint32_t v = 0; v < f.size(); ++v) {
+      if (cur[v] == pass && !near_red[v]) cur[v] = kRed;
+    }
+  }
+  MMN_ASSERT(red_is_independent(f, cur), "red class is not independent");
+  MMN_ASSERT(red_is_dominating(f, cur), "red class is not maximal");
+  return cur;
+}
+
+bool red_is_independent(const RootedForest& f,
+                        const std::vector<Color>& colors) {
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (!f.is_root(v) && colors[v] == kRed && colors[f.parent[v]] == kRed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool red_is_dominating(const RootedForest& f,
+                       const std::vector<Color>& colors) {
+  const std::vector<bool> near_red = has_red_neighbor(f, colors);
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (colors[v] != kRed && !near_red[v]) return false;
+  }
+  return true;
+}
+
+RootedForest cut_at_red_internals(const RootedForest& f,
+                                  const std::vector<Color>& colors) {
+  MMN_REQUIRE(colors.size() == f.size(), "colors size mismatch");
+  std::vector<bool> internal(f.size(), false);
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (!f.is_root(v)) internal[f.parent[v]] = true;
+  }
+  RootedForest cut = f;
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (colors[v] == kRed && internal[v]) cut.parent[v] = v;
+  }
+  return cut;
+}
+
+std::uint32_t max_depth(const RootedForest& f) {
+  std::vector<std::uint32_t> depth(f.size(), static_cast<std::uint32_t>(-1));
+  std::uint32_t best = 0;
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    // Walk up to the first vertex with a known depth, then unwind.
+    std::vector<std::uint32_t> chain;
+    std::uint32_t cur = v;
+    while (depth[cur] == static_cast<std::uint32_t>(-1) && !f.is_root(cur)) {
+      chain.push_back(cur);
+      cur = f.parent[cur];
+    }
+    std::uint32_t d = f.is_root(cur) && depth[cur] == static_cast<std::uint32_t>(-1)
+                          ? 0
+                          : depth[cur];
+    if (f.is_root(cur)) depth[cur] = 0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[*it] = ++d;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace mmn

@@ -1,0 +1,47 @@
+// Steps 4–6 of the paper's deterministic partitioning phase: turn a proper
+// 3-coloring of the fragment forest F into a maximal independent set that
+// contains every root, then cut F into bounded-depth components.
+//
+// Like forest_coloring.hpp this is the sequential reference; the distributed
+// partitioner performs the same per-vertex rules via fragment-tree messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coloring/forest_coloring.hpp"
+
+namespace mmn {
+
+inline constexpr Color kRed = 0;
+inline constexpr Color kGreen = 1;
+inline constexpr Color kBlue = 2;
+
+/// Step 4: re-colors so the coloring stays proper and every root is red.
+/// Every vertex except roots and their children adopts its father's color;
+/// the root/children exchange follows the paper's two cases.
+std::vector<Color> root_red_recolor(const RootedForest& f,
+                                    const std::vector<Color>& colors);
+
+/// Step 5: first every blue vertex with no red neighbor turns red, then every
+/// green vertex with no red neighbor turns red.  The red class of the result
+/// is a maximal independent set containing every root.
+std::vector<Color> grow_red_mis(const RootedForest& f,
+                                const std::vector<Color>& colors);
+
+/// True if the red class is an independent set in F.
+bool red_is_independent(const RootedForest& f, const std::vector<Color>& colors);
+
+/// True if every non-red vertex has a red neighbor (parent or child).
+bool red_is_dominating(const RootedForest& f, const std::vector<Color>& colors);
+
+/// Step 6: removes the parent edge of every red vertex that has children
+/// (red internal vertices become component roots; red leaves stay attached).
+/// Returns the cut forest.
+RootedForest cut_at_red_internals(const RootedForest& f,
+                                  const std::vector<Color>& colors);
+
+/// Maximum depth (edge count root-to-vertex) over all trees of the forest.
+std::uint32_t max_depth(const RootedForest& f);
+
+}  // namespace mmn

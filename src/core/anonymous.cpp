@@ -1,0 +1,32 @@
+#include "core/anonymous.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+AnonymousPartitionProcess::AnonymousPartitionProcess(
+    const sim::LocalView& view)
+    : view_(view), estimate_(view) {}
+
+void AnonymousPartitionProcess::round(sim::NodeContext& ctx) {
+  if (partition_ == nullptr) {
+    estimate_.round(ctx);
+    if (estimate_.finished()) {
+      // The estimate ended on a shared idle slot, so every node builds its
+      // partition stage in this same round with the same parameters.
+      PartitionRandConfig config;
+      config.size_hint = estimate_.estimate();
+      config.anonymous = true;
+      partition_ = std::make_unique<PartitionRandProcess>(view_, config);
+    }
+    return;
+  }
+  partition_->round(ctx);
+}
+
+std::uint64_t AnonymousPartitionProcess::size_estimate() const {
+  MMN_REQUIRE(partition_ != nullptr, "estimation still in progress");
+  return estimate_.estimate();
+}
+
+}  // namespace mmn

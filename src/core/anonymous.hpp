@@ -1,0 +1,52 @@
+// Partitioning with unknown n and anonymous nodes (Section 4 remark +
+// Section 7.4).
+//
+// The randomized partitioning algorithm needs only two global quantities:
+// an estimate of sqrt(n) (for the center probabilities and the growth
+// radius) and distinct node names (for tie-breaking and center identity).
+// The paper observes both can be manufactured on the spot: Greenberg–Ladner
+// estimates n from coin-flip rounds on the channel alone, and "random bits
+// can be used also to generate random ids in case those are not given".
+//
+// AnonymousPartitionProcess chains exactly that: a channel-only size
+// estimation stage, then the Section 4 partition parameterized by the
+// estimate and running on freshly drawn 63-bit random ids.  The estimate is
+// common knowledge (everyone hears the same slots), so all nodes construct
+// identically-parameterized partition stages in the same round.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/partition.hpp"
+#include "core/partition_rand.hpp"
+#include "core/size.hpp"
+
+namespace mmn {
+
+class AnonymousPartitionProcess final : public sim::Process,
+                                        public FragmentState {
+ public:
+  explicit AnonymousPartitionProcess(const sim::LocalView& view);
+
+  void round(sim::NodeContext& ctx) override;
+  bool finished() const override {
+    return partition_ != nullptr && partition_->finished();
+  }
+
+  NodeId tree_parent() const override { return partition_->tree_parent(); }
+  EdgeId tree_parent_edge() const override {
+    return partition_->tree_parent_edge();
+  }
+  NodeId fragment_id() const override { return partition_->fragment_id(); }
+
+  /// The Greenberg–Ladner estimate the partition was parameterized with.
+  std::uint64_t size_estimate() const;
+
+ private:
+  const sim::LocalView& view_;
+  SizeEstimateProcess estimate_;
+  std::unique_ptr<PartitionRandProcess> partition_;
+};
+
+}  // namespace mmn

@@ -1,0 +1,39 @@
+#include "core/partition.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+FragmentAccessor direct_fragment_accessor() {
+  return [](const sim::Process& p) -> const FragmentState& {
+    const auto* state = dynamic_cast<const FragmentState*>(&p);
+    MMN_REQUIRE(state != nullptr, "process does not expose FragmentState");
+    return *state;
+  };
+}
+
+Forest collect_forest(const sim::Engine& engine,
+                      const FragmentAccessor& accessor) {
+  const NodeId n = engine.num_nodes();
+  Forest forest;
+  forest.parent.resize(n);
+  forest.parent_edge.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const FragmentState& state = accessor(engine.process(v));
+    forest.parent[v] = state.tree_parent();
+    forest.parent_edge[v] = state.tree_parent_edge();
+  }
+  return forest;
+}
+
+std::vector<NodeId> collect_fragments(const sim::Engine& engine,
+                                      const FragmentAccessor& accessor) {
+  const NodeId n = engine.num_nodes();
+  std::vector<NodeId> fragment(n);
+  for (NodeId v = 0; v < n; ++v) {
+    fragment[v] = accessor(engine.process(v)).fragment_id();
+  }
+  return fragment;
+}
+
+}  // namespace mmn

@@ -1,0 +1,47 @@
+// Common types for the partitioning algorithms (Sections 3 and 4).
+//
+// Both partitioners leave, at every node, a tree parent pointer and a
+// fragment id; collect_forest() harvests them from a finished engine into the
+// Forest structure the validators understand.
+#pragma once
+
+#include <functional>
+
+#include "graph/validation.hpp"
+#include "sim/engine.hpp"
+
+namespace mmn {
+
+/// Implemented by any process that ends up holding a spanning-forest node
+/// state.  Accessors are only meaningful once the process finished.
+class FragmentState {
+ public:
+  virtual ~FragmentState() = default;
+
+  /// Tree parent (own id for fragment roots).
+  virtual NodeId tree_parent() const = 0;
+
+  /// Graph edge to the parent (kNoEdge for roots).
+  virtual EdgeId tree_parent_edge() const = 0;
+
+  /// Fragment identifier (the root/core's node id).
+  virtual NodeId fragment_id() const = 0;
+};
+
+/// Maps an engine process to its FragmentState.  The default works when the
+/// process itself implements FragmentState; composed protocols pass a lambda
+/// that digs out the right stage.
+using FragmentAccessor =
+    std::function<const FragmentState&(const sim::Process&)>;
+
+FragmentAccessor direct_fragment_accessor();
+
+/// Harvests the spanning forest from a finished engine.
+Forest collect_forest(const sim::Engine& engine,
+                      const FragmentAccessor& accessor);
+
+/// Harvests per-node fragment ids from a finished engine.
+std::vector<NodeId> collect_fragments(const sim::Engine& engine,
+                                      const FragmentAccessor& accessor);
+
+}  // namespace mmn

@@ -1,0 +1,8 @@
+#include "core/size.hpp"
+
+namespace mmn {
+
+DeterministicSizeProcess::DeterministicSizeProcess(const sim::LocalView& view)
+    : inner_(view, config_with_check()) {}
+
+}  // namespace mmn

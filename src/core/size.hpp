@@ -1,0 +1,83 @@
+// Network-size computation and estimation (Sections 7.3 and 7.4).
+//
+// Deterministic: PartitionDetProcess with `with_size_check` runs the paper's
+// modified partitioning — after each phase it tries to schedule the fragment
+// cores on the channel within a 2^i * O(log id) slot budget; the first
+// attempt that completes carries every fragment's size in the clear, so all
+// nodes sum them to the exact n and stop, in O(sqrt(n) log id) time.
+// DeterministicSizeProcess is a thin facade over that configuration.
+//
+// Randomized (Greenberg–Ladner): rounds of collective coin flips with
+// probability 2^-i of transmitting a busy tone; the index of the first idle
+// round estimates log2 n.  Channel-only, works for anonymous nodes and needs
+// O(log n) slots.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/size_estimator.hpp"
+#include "core/partition_det.hpp"
+#include "core/stepped.hpp"
+
+namespace mmn {
+
+/// Section 7.3 — exact n via the partition-with-check.
+class DeterministicSizeProcess final : public sim::Process {
+ public:
+  explicit DeterministicSizeProcess(const sim::LocalView& view);
+
+  void round(sim::NodeContext& ctx) override { inner_.round(ctx); }
+  bool finished() const override { return inner_.finished(); }
+
+  /// The exact network size; valid once finished, identical at every node.
+  std::uint64_t network_size() const { return inner_.computed_size(); }
+
+  const PartitionDetProcess& partition() const { return inner_; }
+
+ private:
+  static PartitionDetConfig config_with_check() {
+    PartitionDetConfig config;
+    config.with_size_check = true;
+    return config;
+  }
+
+  PartitionDetProcess inner_;
+};
+
+/// Section 7.4 — Greenberg–Ladner randomized estimate (one observed step).
+class SizeEstimateProcess final : public SteppedProcess {
+ public:
+  explicit SizeEstimateProcess(const sim::LocalView&) {}
+
+  /// 2^k for the first idle round k; a constant-factor estimate of n w.h.p.
+  std::uint64_t estimate() const { return estimator_.estimate(); }
+
+  /// Rounds (slots) the estimation took.
+  int rounds_used() const { return estimator_.rounds(); }
+
+ protected:
+  std::uint64_t num_steps() const override { return 1; }
+  StepSpec step_spec(std::uint64_t) const override {
+    return {StepKind::kObserved, 0};
+  }
+  void step_begin(std::uint64_t, sim::NodeContext&) override {}
+  void on_message(std::uint64_t, const sim::Received&,
+                  sim::NodeContext&) override {
+    MMN_ASSERT(false, "size estimation never uses point-to-point links");
+  }
+  void step_round(std::uint64_t, sim::NodeContext& ctx) override {
+    if (!estimator_.done() && estimator_.should_transmit(ctx.rng())) {
+      ctx.channel_write(sim::Packet(221));
+    }
+  }
+  void on_slot(std::uint64_t, const sim::SlotObservation& obs,
+               sim::NodeContext&) override {
+    if (!estimator_.done()) estimator_.observe(obs);
+  }
+  bool observed_end(std::uint64_t) const override { return estimator_.done(); }
+
+ private:
+  SizeEstimator estimator_;
+};
+
+}  // namespace mmn

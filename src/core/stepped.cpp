@@ -1,0 +1,100 @@
+#include "core/stepped.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+void SteppedProcess::on_slot(std::uint64_t, const sim::SlotObservation&,
+                             sim::NodeContext&) {}
+
+void SteppedProcess::step_round(std::uint64_t, sim::NodeContext&) {}
+
+bool SteppedProcess::step_done(std::uint64_t) const { return true; }
+
+bool SteppedProcess::observed_end(std::uint64_t) const { return false; }
+
+void SteppedProcess::round(sim::NodeContext& ctx) {
+  if (finished_) return;
+
+  if (!started_) {
+    started_ = true;
+    if (num_steps() == 0) {
+      finished_ = true;
+      return;
+    }
+    step_begin(0, ctx);
+  } else {
+    if (slot_owner_ != kNoStep) on_slot(slot_owner_, ctx.slot(), ctx);
+
+    bool advance = false;
+    switch (step_spec(step_).kind) {
+      case StepKind::kBarrier:
+        // Only an idle slot that this step itself owned proves quiescence;
+        // the slot that *triggered* the step's start belongs to its
+        // predecessor.
+        advance = slot_owner_ == step_ && ctx.slot().idle();
+        break;
+      case StepKind::kFixed:
+        advance = rounds_in_step_ >= step_spec(step_).fixed_rounds;
+        break;
+      case StepKind::kObserved:
+        advance = observed_end(step_);
+        break;
+    }
+    if (advance) {
+      ++step_;
+      rounds_in_step_ = 0;
+      if (step_ >= num_steps()) {
+        finished_ = true;
+        return;
+      }
+      step_begin(step_, ctx);
+    }
+  }
+
+  for (const sim::Received& msg : ctx.inbox()) {
+    on_message(step_, msg, ctx);
+  }
+  step_round(step_, ctx);
+
+  if (step_spec(step_).kind == StepKind::kBarrier) {
+    MMN_ASSERT(!ctx.wrote_channel(),
+               "barrier steps reserve the channel for busy tones");
+    if (!step_done(step_) || ctx.sent_message()) {
+      ctx.channel_write(sim::Packet(kBusyTone));
+    }
+  }
+
+  slot_owner_ = step_;
+  ++rounds_in_step_;
+}
+
+SequenceProcess::SequenceProcess(
+    std::vector<std::unique_ptr<sim::Process>> stages)
+    : stages_(std::move(stages)) {
+  MMN_REQUIRE(!stages_.empty(), "sequence needs at least one stage");
+  for (const auto& s : stages_) {
+    MMN_REQUIRE(s != nullptr, "sequence stage must not be null");
+  }
+}
+
+void SequenceProcess::round(sim::NodeContext& ctx) {
+  while (index_ < stages_.size() && stages_[index_]->finished()) {
+    ++index_;
+  }
+  if (index_ < stages_.size()) {
+    stages_[index_]->round(ctx);
+  }
+}
+
+sim::Process& SequenceProcess::stage(std::size_t i) {
+  MMN_REQUIRE(i < stages_.size(), "stage index out of range");
+  return *stages_[i];
+}
+
+const sim::Process& SequenceProcess::stage(std::size_t i) const {
+  MMN_REQUIRE(i < stages_.size(), "stage index out of range");
+  return *stages_[i];
+}
+
+}  // namespace mmn

@@ -1,0 +1,122 @@
+// Stepped protocols with channel barriers.
+//
+// The paper's algorithms proceed in globally synchronized steps ("all the
+// processors start (and end) each phase simultaneously", Section 3).  It
+// offers two mechanisms: precomputed phase lengths, or the busy-tone
+// synchronizer of Section 7 used as a termination detector.  We implement the
+// latter: during a *barrier* step every node that is still working — it sent
+// a point-to-point message this round or declares itself locally busy —
+// writes a busy tone into the channel slot.  Since an idle slot is publicly
+// observable, the first idle slot proves global quiescence of the step to
+// every node simultaneously, and all nodes advance together.  A message sent
+// in round r keeps its sender busy in r and its receiver active in r + 1, so
+// no in-flight message can survive a barrier.
+//
+// Three step kinds:
+//   kBarrier  — ends at the first idle slot owned by the step.  The channel
+//               carries only busy tones; all data moves point-to-point.
+//   kFixed    — occupies exactly `fixed_rounds` rounds (a schedule every node
+//               computes identically, e.g. TDMA cycles).
+//   kObserved — ends when a deterministic function of the shared slot
+//               outcomes says so (e.g. a Capetanakis traversal completing);
+//               every listener reaches the same verdict in the same round.
+//
+// Subclasses receive step-scoped callbacks and never touch the barrier
+// machinery.  Because transitions depend only on globally shared signals,
+// every node is always in the same step.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mmn {
+
+enum class StepKind : std::uint8_t { kBarrier, kFixed, kObserved };
+
+struct StepSpec {
+  StepKind kind = StepKind::kBarrier;
+  std::uint64_t fixed_rounds = 0;  ///< used by kFixed only
+};
+
+class SteppedProcess : public sim::Process {
+ public:
+  void round(sim::NodeContext& ctx) final;
+  bool finished() const final { return finished_; }
+
+  /// The step currently executing (for tests and debugging).
+  std::uint64_t current_step() const { return step_; }
+
+ protected:
+  /// Reserved packet type for barrier busy tones.
+  static constexpr std::uint16_t kBusyTone = 0xFFFF;
+
+  /// Rounds elapsed inside the current step (0 in the step's first round);
+  /// the slot index for kFixed TDMA schedules.
+  std::uint64_t rounds_in_step() const { return rounds_in_step_; }
+
+  /// Number of steps; may grow as shared information arrives, but must
+  /// evaluate identically at every node in every round.
+  virtual std::uint64_t num_steps() const = 0;
+
+  /// Kind and length of the given step; identical at every node.
+  virtual StepSpec step_spec(std::uint64_t step) const = 0;
+
+  /// Called once when the step starts (same round at every node).
+  virtual void step_begin(std::uint64_t step, sim::NodeContext& ctx) = 0;
+
+  /// Called for every point-to-point message, tagged with the current step.
+  virtual void on_message(std::uint64_t step, const sim::Received& msg,
+                          sim::NodeContext& ctx) = 0;
+
+  /// Called with the outcome of every channel slot, tagged with the step
+  /// that owned the slot (kFixed / kObserved steps consume data here).
+  virtual void on_slot(std::uint64_t slot_step, const sim::SlotObservation& obs,
+                       sim::NodeContext& ctx);
+
+  /// Called every round after message processing (per-round work such as
+  /// channel writes in kFixed / kObserved steps).
+  virtual void step_round(std::uint64_t step, sim::NodeContext& ctx);
+
+  /// kBarrier: local-idleness predicate.  The default (true) suits reactive
+  /// protocols where all activity is triggered by messages; the framework's
+  /// sent-this-round busy tone keeps causal chains alive.
+  virtual bool step_done(std::uint64_t step) const;
+
+  /// kObserved: end predicate, a function of the observations already fed to
+  /// on_slot; must evaluate identically at every node.
+  virtual bool observed_end(std::uint64_t step) const;
+
+ private:
+  static constexpr std::uint64_t kNoStep = static_cast<std::uint64_t>(-1);
+
+  std::uint64_t step_ = 0;
+  std::uint64_t rounds_in_step_ = 0;
+  std::uint64_t slot_owner_ = kNoStep;  // step that owned the previous slot
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// Runs a list of sub-protocols back to back.  Each stage must finish in the
+/// same round at every node (true for every protocol in this library — they
+/// all end on a shared signal), so successive stages stay aligned network
+/// wide.  Later stages may hold pointers to earlier ones and read their
+/// results once started.
+class SequenceProcess final : public sim::Process {
+ public:
+  explicit SequenceProcess(std::vector<std::unique_ptr<sim::Process>> stages);
+
+  void round(sim::NodeContext& ctx) override;
+  bool finished() const override { return index_ >= stages_.size(); }
+
+  sim::Process& stage(std::size_t i);
+  const sim::Process& stage(std::size_t i) const;
+
+ private:
+  std::vector<std::unique_ptr<sim::Process>> stages_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace mmn

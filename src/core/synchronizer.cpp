@@ -1,0 +1,98 @@
+#include "core/synchronizer.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+/// NodeContext the inner synchronous process sees: its "round" is the pulse
+/// count, its inbox is the buffer the synchronizer filled since the previous
+/// pulse, and its sends go out as acknowledged asynchronous messages.  The
+/// channel is off limits — the synchronizer owns it.
+class SynchronizerProcess::Shim final : public sim::NodeContext {
+ public:
+  Shim(SynchronizerProcess& owner, sim::AsyncContext& async,
+       std::uint64_t round)
+      : owner_(owner), async_(async), round_(round) {}
+
+  std::uint64_t round() const override { return round_; }
+  const sim::LocalView& view() const override { return owner_.view_; }
+  Rng& rng() override { return async_.rng(); }
+  const std::vector<sim::Received>& inbox() const override {
+    return owner_.buffered_;
+  }
+  const sim::SlotObservation& slot() const override {
+    static const sim::SlotObservation kIdle{};
+    return kIdle;  // the channel belongs to the synchronizer
+  }
+  void send(EdgeId edge, const sim::Packet& packet) override {
+    MMN_REQUIRE(packet.type() < kBusy,
+                "packet types 0xFFFD..0xFFFF are reserved");
+    async_.send(edge, packet);
+    ++owner_.pending_acks_;
+    sent_ = true;
+  }
+  void channel_write(const sim::Packet&) override {
+    MMN_REQUIRE(false, "synchronized protocols must not use the channel");
+  }
+  bool wrote_channel() const override { return false; }
+  bool sent_message() const override { return sent_; }
+
+ private:
+  SynchronizerProcess& owner_;
+  sim::AsyncContext& async_;
+  std::uint64_t round_;
+  bool sent_ = false;
+};
+
+SynchronizerProcess::SynchronizerProcess(const sim::LocalView& view,
+                                         std::unique_ptr<sim::Process> inner)
+    : view_(view), inner_(std::move(inner)) {
+  MMN_REQUIRE(inner_ != nullptr, "synchronizer needs an inner process");
+}
+
+void SynchronizerProcess::start(sim::AsyncContext&) {
+  // The first pulse arrives with the first idle slot; nothing to do yet.
+}
+
+void SynchronizerProcess::on_message(const sim::Received& msg,
+                                     sim::AsyncContext& ctx) {
+  if (msg.packet.type() == kAck) {
+    MMN_ASSERT(pending_acks_ > 0, "unexpected acknowledgement");
+    --pending_acks_;
+    return;
+  }
+  // Acknowledge immediately and hold the message for the next pulse.
+  ctx.send(msg.via, sim::Packet(kAck));
+  buffered_.push_back(msg);
+}
+
+void SynchronizerProcess::on_slot(const sim::SlotObservation& obs,
+                                  sim::AsyncContext& ctx) {
+  if (obs.idle() && !inner_->finished()) {
+    // Pulse: every message of the previous simulated round has been
+    // delivered (its sender would otherwise still hold a busy tone).  The
+    // buffer is the inner round's inbox; nothing new can arrive while the
+    // inner round runs, so clearing afterwards is safe.
+    Shim shim(*this, ctx, pulses_);
+    inner_->round(shim);
+    buffered_.clear();
+    ++pulses_;
+  }
+  // Hold the busy tone while any of our messages is unacknowledged (the
+  // sends above happen within this slot, so the tone covers them too).
+  if (pending_acks_ > 0) {
+    ctx.channel_write(sim::Packet(kBusy));
+  }
+}
+
+bool SynchronizerProcess::finished() const {
+  return inner_->finished() && pending_acks_ == 0;
+}
+
+sim::AsyncProcessFactory synchronize(sim::ProcessFactory factory) {
+  return [factory = std::move(factory)](const sim::LocalView& view) {
+    return std::make_unique<SynchronizerProcess>(view, factory(view));
+  };
+}
+
+}  // namespace mmn

@@ -1,0 +1,61 @@
+// The channel as a synchronizer (Section 7.1, Corollary 4).
+//
+// Runs any synchronous point-to-point Process on the asynchronous engine:
+// every protocol message is acknowledged, a node transmits a busy tone on
+// the channel as long as any of its messages is unacknowledged, and an idle
+// slot — observable by everyone — is the clock pulse that starts the next
+// simulated round.  Messages of round r are therefore all delivered before
+// round r + 1 begins, which is exactly the synchronous-model guarantee.
+// Overhead: every message gains one acknowledgement (x2 messages) and each
+// round costs a constant number of slots when delays are bounded by one slot
+// (Corollary 4: the multimedia network is at least as powerful as the
+// synchronous point-to-point network).
+//
+// The wrapped protocol must be channel-free (the synchronizer owns the
+// channel); all of the library's local stages qualify.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/async_engine.hpp"
+#include "sim/engine.hpp"
+
+namespace mmn {
+
+class SynchronizerProcess final : public sim::AsyncProcess {
+ public:
+  SynchronizerProcess(const sim::LocalView& view,
+                      std::unique_ptr<sim::Process> inner);
+
+  void start(sim::AsyncContext& ctx) override;
+  void on_message(const sim::Received& msg, sim::AsyncContext& ctx) override;
+  void on_slot(const sim::SlotObservation& obs, sim::AsyncContext& ctx) override;
+  bool finished() const override;
+
+  const sim::Process& inner() const { return *inner_; }
+
+  /// Simulated synchronous rounds driven so far (== pulses observed).
+  std::uint64_t pulses() const { return pulses_; }
+
+ private:
+  class Shim;
+
+  /// Acknowledgement packet type; reserved, like the busy tone.
+  static constexpr std::uint16_t kAck = 0xFFFE;
+  static constexpr std::uint16_t kBusy = 0xFFFD;
+
+  const sim::LocalView& view_;
+  std::unique_ptr<sim::Process> inner_;
+  std::vector<sim::Received> buffered_;  ///< round r+1 inbox being filled
+  std::uint32_t pending_acks_ = 0;
+  std::uint64_t pulses_ = 0;
+};
+
+/// Convenience factory adapting a synchronous ProcessFactory to the
+/// asynchronous engine via the synchronizer.
+sim::AsyncProcessFactory synchronize(sim::ProcessFactory factory);
+
+}  // namespace mmn

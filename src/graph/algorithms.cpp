@@ -1,0 +1,110 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/dsu.hpp"
+#include "support/check.hpp"
+
+namespace mmn {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  return bfs_distances(g, std::vector<NodeId>{source});
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                         const std::vector<NodeId>& sources) {
+  MMN_REQUIRE(!sources.empty(), "bfs needs at least one source");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> queue;
+  for (NodeId s : sources) {
+    MMN_REQUIRE(s < g.num_nodes(), "bfs source out of range");
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      queue.push(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (const EdgeRef& e : g.neighbors(v)) {
+      if (dist[e.to] == kUnreachable) {
+        dist[e.to] = dist[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  const auto dist = bfs_distances(g, NodeId{0});
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t diameter(const Graph& g) {
+  MMN_REQUIRE(is_connected(g), "diameter requires a connected graph");
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    best = std::max(best, *std::max_element(dist.begin(), dist.end()));
+  }
+  return best;
+}
+
+MstResult kruskal_mst(const Graph& g) {
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&g](EdgeId a, EdgeId b) {
+    return g.edge(a).weight < g.edge(b).weight;
+  });
+  Dsu dsu(g.num_nodes());
+  MstResult result;
+  for (EdgeId e : order) {
+    const Edge& ed = g.edge(e);
+    if (dsu.unite(ed.u, ed.v)) {
+      result.edges.push_back(e);
+      result.total_weight += ed.weight;
+    }
+  }
+  MMN_REQUIRE(result.edges.size() + 1 == g.num_nodes(),
+              "kruskal_mst requires a connected graph");
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+MstResult prim_mst(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<bool> in_tree(n, false);
+  using Item = std::pair<Weight, EdgeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  MstResult result;
+
+  auto add_node = [&](NodeId v) {
+    in_tree[v] = true;
+    for (const EdgeRef& e : g.neighbors(v)) {
+      if (!in_tree[e.to]) frontier.emplace(e.weight, e.id);
+    }
+  };
+  add_node(0);
+  while (result.edges.size() + 1 < n) {
+    MMN_REQUIRE(!frontier.empty(), "prim_mst requires a connected graph");
+    const auto [w, e] = frontier.top();
+    frontier.pop();
+    const Edge& ed = g.edge(e);
+    const NodeId fresh = !in_tree[ed.u] ? ed.u : (!in_tree[ed.v] ? ed.v : kNoNode);
+    if (fresh == kNoNode) continue;  // both endpoints already inside
+    result.edges.push_back(e);
+    result.total_weight += w;
+    add_node(fresh);
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+bool mst_contains(const MstResult& mst, EdgeId e) {
+  return std::binary_search(mst.edges.begin(), mst.edges.end(), e);
+}
+
+}  // namespace mmn

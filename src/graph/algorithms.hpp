@@ -1,0 +1,44 @@
+// Centralized reference algorithms.
+//
+// These are the sequential ground truth the distributed algorithms are tested
+// against: BFS distances, exact diameter, connectivity, and two independent
+// MST constructions (Kruskal and Prim).  Distinct weights make the MST
+// unique, so distributed results must match these edge sets exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mmn {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS hop distances from `source` (kUnreachable where disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS hop distances from multiple sources (minimum over sources).
+std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                         const std::vector<NodeId>& sources);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter via n BFS traversals; requires a connected graph.
+std::uint32_t diameter(const Graph& g);
+
+struct MstResult {
+  std::vector<EdgeId> edges;  ///< sorted ascending by edge id
+  Weight total_weight = 0;
+};
+
+/// Kruskal's algorithm; requires a connected graph.
+MstResult kruskal_mst(const Graph& g);
+
+/// Prim's algorithm; requires a connected graph.
+MstResult prim_mst(const Graph& g);
+
+/// True if edge `e` belongs to the (unique) MST given by `mst`.
+bool mst_contains(const MstResult& mst, EdgeId e);
+
+}  // namespace mmn

@@ -1,0 +1,34 @@
+#include "graph/dsu.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+Dsu::Dsu(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t Dsu::find(std::size_t x) {
+  MMN_REQUIRE(x < parent_.size(), "dsu element out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool Dsu::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = static_cast<std::uint32_t>(a);
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+std::size_t Dsu::set_size(std::size_t x) { return size_[find(x)]; }
+
+}  // namespace mmn

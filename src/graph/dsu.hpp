@@ -1,0 +1,31 @@
+// Disjoint-set union (union by size, path halving).
+//
+// Used by the reference Kruskal MST and by validators; not by the distributed
+// algorithms themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmn {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n);
+
+  std::size_t find(std::size_t x);
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b);
+
+  std::size_t set_size(std::size_t x);
+
+  std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace mmn

@@ -1,0 +1,148 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+namespace {
+
+/// Assigns a random permutation of 1..edges.size() as weights.
+void assign_weights(std::vector<Edge>& edges, Rng& rng) {
+  std::vector<Weight> w(edges.size());
+  std::iota(w.begin(), w.end(), Weight{1});
+  for (std::size_t i = w.size(); i > 1; --i) {
+    std::swap(w[i - 1], w[rng.next_below(i)]);
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].weight = w[i];
+}
+
+Graph finish(NodeId n, std::vector<Edge> edges, Rng& rng) {
+  assign_weights(edges, rng);
+  return Graph(n, std::move(edges));
+}
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+}  // namespace
+
+Graph random_tree(NodeId n, std::uint64_t seed) {
+  MMN_REQUIRE(n >= 1, "random_tree requires n >= 1");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.next_below(v));
+    edges.push_back({parent, v, 0});
+  }
+  return finish(n, std::move(edges), rng);
+}
+
+Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed) {
+  MMN_REQUIRE(n >= 1, "random_connected requires n >= 1");
+  const std::uint64_t max_extra =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2 - (n - 1);
+  MMN_REQUIRE(extra_edges <= max_extra, "too many extra edges for simple graph");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1 + extra_edges);
+  std::unordered_set<std::uint64_t> used;
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.next_below(v));
+    edges.push_back({parent, v, 0});
+    used.insert(pair_key(parent, v));
+  }
+  std::uint32_t added = 0;
+  while (added < extra_edges) {
+    const auto a = static_cast<NodeId>(rng.next_below(n));
+    const auto b = static_cast<NodeId>(rng.next_below(n));
+    if (a == b) continue;
+    if (!used.insert(pair_key(a, b)).second) continue;
+    edges.push_back({a, b, 0});
+    ++added;
+  }
+  return finish(n, std::move(edges), rng);
+}
+
+Graph grid(NodeId rows, NodeId cols, std::uint64_t seed) {
+  MMN_REQUIRE(rows >= 1 && cols >= 1, "grid requires positive dimensions");
+  Rng rng(seed);
+  const NodeId n = rows * cols;
+  std::vector<Edge> edges;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 0});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 0});
+    }
+  }
+  return finish(n, std::move(edges), rng);
+}
+
+Graph ring(NodeId n, std::uint64_t seed) {
+  MMN_REQUIRE(n >= 3, "ring requires n >= 3");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v < n; ++v) edges.push_back({v, static_cast<NodeId>((v + 1) % n), 0});
+  return finish(n, std::move(edges), rng);
+}
+
+Graph path(NodeId n, std::uint64_t seed) {
+  MMN_REQUIRE(n >= 1, "path requires n >= 1");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<NodeId>(v + 1), 0});
+  return finish(n, std::move(edges), rng);
+}
+
+Graph complete(NodeId n, std::uint64_t seed) {
+  MMN_REQUIRE(n >= 2, "complete requires n >= 2");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v, 0});
+  }
+  return finish(n, std::move(edges), rng);
+}
+
+Graph hypercube(int dim, std::uint64_t seed) {
+  MMN_REQUIRE(dim >= 1 && dim <= 20, "hypercube dimension must be in [1, 20]");
+  Rng rng(seed);
+  const NodeId n = NodeId{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int b = 0; b < dim; ++b) {
+      const NodeId u = v ^ (NodeId{1} << b);
+      if (v < u) edges.push_back({v, u, 0});
+    }
+  }
+  return finish(n, std::move(edges), rng);
+}
+
+Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed) {
+  MMN_REQUIRE(rays >= 1 && ray_len >= 1, "ray_graph requires rays, ray_len >= 1");
+  Rng rng(seed);
+  const NodeId n = 1 + rays * ray_len;
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  NodeId next = 1;
+  for (NodeId r = 0; r < rays; ++r) {
+    NodeId prev = 0;  // the center
+    for (NodeId k = 0; k < ray_len; ++k) {
+      edges.push_back({prev, next, 0});
+      prev = next++;
+    }
+  }
+  return finish(n, std::move(edges), rng);
+}
+
+}  // namespace mmn

@@ -1,0 +1,42 @@
+// Topology generators.
+//
+// All generators produce connected graphs with distinct pseudo-random link
+// weights (a random permutation of 1..m), deterministically from a seed.
+// The ray graph is the topology of the paper's multimedia lower bound
+// (Theorem 2): a center from which vertex-disjoint paths ("rays") of length
+// d/2 emanate, giving diameter d.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace mmn {
+
+/// Random spanning tree on n nodes plus `extra_edges` distinct random chords.
+Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed);
+
+/// Uniform random labelled tree (random attachment), n >= 1.
+Graph random_tree(NodeId n, std::uint64_t seed);
+
+/// rows x cols grid mesh.
+Graph grid(NodeId rows, NodeId cols, std::uint64_t seed);
+
+/// Cycle on n >= 3 nodes (diameter floor(n/2)).
+Graph ring(NodeId n, std::uint64_t seed);
+
+/// Simple path on n nodes (diameter n - 1).
+Graph path(NodeId n, std::uint64_t seed);
+
+/// Complete graph on n nodes.
+Graph complete(NodeId n, std::uint64_t seed);
+
+/// Hypercube of the given dimension (2^dim nodes) — the iPSC-style topology
+/// the paper's introduction cites as a deployed multimedia system.
+Graph hypercube(int dim, std::uint64_t seed);
+
+/// Ray graph: one center with `rays` vertex-disjoint paths of `ray_len` nodes
+/// each; n = 1 + rays * ray_len, diameter = 2 * ray_len.
+Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed);
+
+}  // namespace mmn

@@ -1,0 +1,65 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+Graph::Graph(NodeId n, std::vector<Edge> edges)
+    : n_(n), edges_(std::move(edges)) {
+  MMN_REQUIRE(n >= 1, "graph needs at least one node");
+  std::unordered_set<Weight> weights;
+  std::unordered_set<std::uint64_t> endpoint_pairs;
+  weights.reserve(edges_.size());
+  endpoint_pairs.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    MMN_REQUIRE(e.u < n_ && e.v < n_, "edge endpoint out of range");
+    MMN_REQUIRE(e.u != e.v, "self loops are not allowed");
+    MMN_REQUIRE(weights.insert(e.weight).second, "link weights must be distinct");
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(e.u, e.v)) << 32) |
+        std::max(e.u, e.v);
+    MMN_REQUIRE(endpoint_pairs.insert(key).second,
+                "parallel edges are not allowed");
+  }
+
+  std::vector<std::uint32_t> deg(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u + 1];
+    ++deg[e.v + 1];
+  }
+  adj_offset_.assign(n_ + 1, 0);
+  for (NodeId v = 0; v < n_; ++v) adj_offset_[v + 1] = adj_offset_[v] + deg[v + 1];
+  adj_.resize(adj_offset_[n_]);
+
+  std::vector<std::uint32_t> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    adj_[cursor[e.u]++] = EdgeRef{e.v, id, e.weight};
+    adj_[cursor[e.v]++] = EdgeRef{e.u, id, e.weight};
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    std::sort(adj_.begin() + adj_offset_[v], adj_.begin() + adj_offset_[v + 1],
+              [](const EdgeRef& a, const EdgeRef& b) { return a.weight < b.weight; });
+  }
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  MMN_REQUIRE(e < edges_.size(), "edge id out of range");
+  return edges_[e];
+}
+
+std::span<const EdgeRef> Graph::neighbors(NodeId v) const {
+  MMN_REQUIRE(v < n_, "node id out of range");
+  return {adj_.data() + adj_offset_[v], adj_.data() + adj_offset_[v + 1]};
+}
+
+NodeId Graph::other_endpoint(EdgeId e, NodeId from) const {
+  const Edge& ed = edge(e);
+  MMN_REQUIRE(ed.u == from || ed.v == from, "node is not an endpoint of edge");
+  return ed.u == from ? ed.v : ed.u;
+}
+
+}  // namespace mmn

@@ -1,0 +1,65 @@
+// Immutable weighted undirected graph.
+//
+// This is the topology substrate for the point-to-point half of a multimedia
+// network (Section 2 of the paper): n nodes, m bidirectional links, distinct
+// link weights.  Adjacency lists are stored sorted by ascending weight because
+// the partitioning and MST algorithms scan a node's links in weight order
+// ("scanning its ordered list of links", Section 3, Step 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmn {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = std::uint64_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// An undirected edge with its distinct weight.
+struct Edge {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  Weight weight = 0;
+};
+
+/// One entry of a node's adjacency list.
+struct EdgeRef {
+  NodeId to = kNoNode;
+  EdgeId id = kNoEdge;
+  Weight weight = 0;
+};
+
+class Graph {
+ public:
+  /// Builds a graph from an edge list.  Requires: endpoints < n, no self
+  /// loops, no parallel edges, all weights distinct.
+  Graph(NodeId n, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const;
+
+  /// Neighbors of v sorted by ascending link weight.
+  std::span<const EdgeRef> neighbors(NodeId v) const;
+
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  /// The endpoint of edge e that is not `from`.
+  NodeId other_endpoint(EdgeId e, NodeId from) const;
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  NodeId n_;
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> adj_offset_;  // n_ + 1 offsets into adj_
+  std::vector<EdgeRef> adj_;               // grouped by node, weight-sorted
+};
+
+}  // namespace mmn

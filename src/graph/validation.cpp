@@ -1,0 +1,109 @@
+#include "graph/validation.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+ForestStats analyze_forest(const Graph& g, const Forest& forest,
+                           const std::string& context) {
+  const NodeId n = g.num_nodes();
+  MMN_ASSERT(forest.parent.size() == n, context + ": parent size mismatch");
+  MMN_ASSERT(forest.parent_edge.size() == n,
+             context + ": parent_edge size mismatch");
+
+  // Parent pointers must reference real graph edges and be acyclic.
+  std::vector<NodeId> root(n, kNoNode);
+  std::vector<std::uint32_t> depth(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    MMN_ASSERT(forest.parent[v] < n, context + ": parent out of range");
+    if (forest.parent[v] == v) {
+      MMN_ASSERT(forest.parent_edge[v] == kNoEdge,
+                 context + ": root must have no parent edge");
+      continue;
+    }
+    const EdgeId pe = forest.parent_edge[v];
+    MMN_ASSERT(pe != kNoEdge, context + ": non-root must have a parent edge");
+    MMN_ASSERT(pe < g.num_edges(), context + ": parent edge out of range");
+    const Edge& e = g.edge(pe);
+    MMN_ASSERT((e.u == v && e.v == forest.parent[v]) ||
+                   (e.v == v && e.u == forest.parent[v]),
+               context + ": parent edge does not join node and parent");
+  }
+
+  // Resolve roots; cycle detection via step bound.
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId cur = v;
+    std::uint32_t steps = 0;
+    while (forest.parent[cur] != cur) {
+      cur = forest.parent[cur];
+      MMN_ASSERT(++steps <= n, context + ": cycle in parent pointers");
+    }
+    root[v] = cur;
+  }
+
+  // Depth of every node within its tree (BFS from roots over child lists).
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (forest.parent[v] != v) children[forest.parent[v]].push_back(v);
+  }
+  std::vector<std::size_t> tree_size(n, 0);
+  std::vector<std::uint32_t> tree_radius(n, 0);
+  for (NodeId v = 0; v < n; ++v) ++tree_size[root[v]];
+
+  std::queue<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    if (forest.parent[v] == v) queue.push(v);
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (NodeId c : children[v]) {
+      depth[c] = depth[v] + 1;
+      tree_radius[root[c]] = std::max(tree_radius[root[c]], depth[c]);
+      queue.push(c);
+    }
+  }
+
+  ForestStats stats;
+  stats.min_size = n;
+  for (NodeId v = 0; v < n; ++v) {
+    if (forest.parent[v] != v) continue;
+    ++stats.num_trees;
+    stats.min_size = std::min(stats.min_size, tree_size[v]);
+    stats.max_size = std::max(stats.max_size, tree_size[v]);
+    stats.max_radius = std::max(stats.max_radius, tree_radius[v]);
+  }
+  MMN_ASSERT(stats.num_trees >= 1, context + ": forest has no trees");
+  return stats;
+}
+
+bool forest_within_mst(const Forest& forest, const MstResult& mst) {
+  for (NodeId v = 0; v < forest.parent.size(); ++v) {
+    if (forest.parent[v] == static_cast<NodeId>(v)) continue;
+    if (!mst_contains(mst, forest.parent_edge[v])) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> forest_roots(const Forest& forest) {
+  std::vector<NodeId> roots;
+  for (NodeId v = 0; v < forest.parent.size(); ++v) {
+    if (forest.parent[v] == v) roots.push_back(v);
+  }
+  return roots;
+}
+
+NodeId forest_root_of(const Forest& forest, NodeId v) {
+  MMN_REQUIRE(v < forest.parent.size(), "node out of range");
+  std::uint32_t steps = 0;
+  while (forest.parent[v] != v) {
+    v = forest.parent[v];
+    MMN_ASSERT(++steps <= forest.parent.size(), "cycle in parent pointers");
+  }
+  return v;
+}
+
+}  // namespace mmn

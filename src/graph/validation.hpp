@@ -1,0 +1,49 @@
+// Validation of spanning-forest partitions.
+//
+// Both partitioning algorithms output, per node, a parent pointer (self for
+// roots) forming a rooted spanning forest.  These helpers check the paper's
+// structural guarantees — spanning, acyclic, tree edges real graph edges,
+// fragment size/radius bounds, and (for the deterministic partition) that
+// every tree edge belongs to the unique MST.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace mmn {
+
+/// A rooted spanning forest described by parent pointers.
+struct Forest {
+  /// parent[v] == v for roots; otherwise parent[v] is v's tree parent.
+  std::vector<NodeId> parent;
+  /// parent_edge[v] == kNoEdge for roots; otherwise the graph edge to parent.
+  std::vector<EdgeId> parent_edge;
+};
+
+struct ForestStats {
+  std::size_t num_trees = 0;
+  std::size_t min_size = 0;
+  std::size_t max_size = 0;
+  std::uint32_t max_radius = 0;  ///< max over trees of root eccentricity
+};
+
+/// Validates structure (parents consistent, acyclic, edges real, spanning)
+/// and computes statistics.  Aborts via MMN_ASSERT on structural violations,
+/// reporting `context` in the message.
+ForestStats analyze_forest(const Graph& g, const Forest& forest,
+                           const std::string& context);
+
+/// True if every forest edge belongs to `mst`.
+bool forest_within_mst(const Forest& forest, const MstResult& mst);
+
+/// Roots of the forest in increasing node id order.
+std::vector<NodeId> forest_roots(const Forest& forest);
+
+/// The id of the root of v's tree (follows parent pointers).
+NodeId forest_root_of(const Forest& forest, NodeId v);
+
+}  // namespace mmn

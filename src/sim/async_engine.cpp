@@ -1,0 +1,119 @@
+#include "sim/async_engine.hpp"
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace mmn::sim {
+
+class AsyncEngine::Context final : public AsyncContext {
+ public:
+  Context(AsyncEngine& engine, NodeId v)
+      : engine_(engine), view_(engine.views_[v]), rng_(engine.rngs_[v]) {}
+
+  const LocalView& view() const override { return view_; }
+  Rng& rng() override { return rng_; }
+  std::uint64_t slot_index() const override { return engine_.slot_index_; }
+
+  void send(EdgeId edge, const Packet& packet) override {
+    const int idx = view_.link_index(edge);
+    MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
+    const Neighbor& nb = view_.links[static_cast<std::size_t>(idx)];
+    const std::uint64_t delay = 1 + rng_.next_below(engine_.max_delay_ticks_);
+    engine_.pending_.push(PendingMessage{
+        engine_.now_tick_ + delay, engine_.send_seq_++, nb.id,
+        Received{view_.self, edge, packet}});
+    ++engine_.metrics_.p2p_messages;
+  }
+
+  void channel_write(const Packet& packet) override {
+    // Multiple writes per slot from one node collapse into one transmission:
+    // physically the node is already holding the medium for this slot.
+    auto& last = engine_.last_write_slot_[view_.self];
+    if (last == engine_.slot_index_) return;
+    last = engine_.slot_index_;
+    engine_.channel_.write(view_.self, packet);
+  }
+
+ private:
+  AsyncEngine& engine_;
+  const LocalView& view_;
+  Rng& rng_;
+};
+
+AsyncEngine::AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
+                         std::uint64_t seed, std::uint32_t max_delay_slots)
+    : max_delay_ticks_(max_delay_slots * kTicksPerSlot) {
+  MMN_REQUIRE(max_delay_slots >= 1, "max_delay_slots must be >= 1");
+  const NodeId n = g.num_nodes();
+  views_.resize(n);
+  last_write_slot_.assign(n, static_cast<std::uint64_t>(-1));
+  rngs_.reserve(n);
+  Rng root(seed);
+  for (NodeId v = 0; v < n; ++v) {
+    LocalView& view = views_[v];
+    view.self = v;
+    view.n = n;
+    for (const EdgeRef& e : g.neighbors(v)) {
+      view.links.push_back(Neighbor{e.to, e.id, e.weight});
+    }
+    rngs_.push_back(root.fork(v));
+  }
+  processes_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    processes_.push_back(factory(views_[v]));
+    MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
+  }
+}
+
+AsyncEngine::~AsyncEngine() = default;
+
+AsyncProcess& AsyncEngine::process(NodeId v) {
+  MMN_REQUIRE(v < processes_.size(), "node id out of range");
+  return *processes_[v];
+}
+
+bool AsyncEngine::all_finished() const {
+  for (const auto& p : processes_) {
+    if (!p->finished()) return false;
+  }
+  return true;
+}
+
+void AsyncEngine::deliver_until(std::uint64_t tick) {
+  while (!pending_.empty() && pending_.top().tick <= tick) {
+    const PendingMessage pm = pending_.top();
+    pending_.pop();
+    now_tick_ = pm.tick;
+    Context ctx(*this, pm.to);
+    processes_[pm.to]->on_message(pm.msg, ctx);
+  }
+  now_tick_ = tick;
+}
+
+Metrics AsyncEngine::run(std::uint64_t max_slots) {
+  for (NodeId v = 0; v < processes_.size(); ++v) {
+    Context ctx(*this, v);
+    processes_[v]->start(ctx);
+  }
+  while (slot_index_ < max_slots) {
+    // Deliver every message that arrives during the slot in progress, then
+    // resolve the slot at its boundary and fan the outcome out to all nodes.
+    deliver_until((slot_index_ + 1) * kTicksPerSlot);
+    const SlotObservation obs = channel_.resolve(metrics_);
+    ++metrics_.rounds;
+    ++slot_index_;
+    for (NodeId v = 0; v < processes_.size(); ++v) {
+      Context ctx(*this, v);
+      processes_[v]->on_slot(obs, ctx);
+    }
+    if (all_finished() && pending_.empty() && channel_.writers() == 0) {
+      return metrics_;
+    }
+  }
+  MMN_ASSERT(false, "async protocol did not terminate within " +
+                        std::to_string(max_slots) + " slots");
+  return metrics_;  // unreachable
+}
+
+}  // namespace mmn::sim

@@ -1,0 +1,119 @@
+// Asynchronous multimedia-network engine (Section 7).
+//
+// The point-to-point half is asynchronous: each message experiences an
+// arbitrary (here: pseudo-random, bounded) delay.  The channel remains
+// slotted — Section 7.2 shows any unslotted channel can be slotted with an
+// FDMA busy-tone side channel, so we model the post-slotting abstraction
+// directly.  Internally time advances in integer ticks with kTicksPerSlot
+// ticks per slot; message delays are drawn uniformly from [1, max_delay_slots
+// * kTicksPerSlot] ticks.  With max_delay_slots == 1 this realizes the
+// paper's time-accounting assumption (delay <= one slot).
+//
+// AsyncProcess is event-driven: on_message fires at delivery time (inside a
+// slot), on_slot fires at every slot boundary with the outcome of the slot
+// that just ended.  The busy-tone synchronizer (core/synchronizer.hpp) runs
+// synchronous Processes on top of this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace mmn::sim {
+
+class AsyncContext;
+
+class AsyncProcess {
+ public:
+  virtual ~AsyncProcess() = default;
+
+  /// Called once at time zero.
+  virtual void start(AsyncContext& ctx) = 0;
+
+  /// Called when a point-to-point message is delivered.
+  virtual void on_message(const Received& msg, AsyncContext& ctx) = 0;
+
+  /// Called at each slot boundary with the outcome of the ended slot.
+  virtual void on_slot(const SlotObservation& obs, AsyncContext& ctx) = 0;
+
+  virtual bool finished() const = 0;
+};
+
+class AsyncContext {
+ public:
+  virtual ~AsyncContext() = default;
+
+  virtual const LocalView& view() const = 0;
+  virtual Rng& rng() = 0;
+
+  /// Index of the slot currently in progress.
+  virtual std::uint64_t slot_index() const = 0;
+
+  /// Sends a message; it is delivered after a random bounded delay.
+  virtual void send(EdgeId edge, const Packet& packet) = 0;
+
+  /// Registers a write for the slot currently in progress.
+  virtual void channel_write(const Packet& packet) = 0;
+
+  NodeId self() const { return view().self; }
+};
+
+using AsyncProcessFactory =
+    std::function<std::unique_ptr<AsyncProcess>(const LocalView&)>;
+
+class AsyncEngine {
+ public:
+  static constexpr std::uint64_t kTicksPerSlot = 16;
+
+  /// max_delay_slots >= 1: upper bound on message delay, in slot lengths.
+  AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
+              std::uint64_t seed, std::uint32_t max_delay_slots);
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Runs until every process is finished; aborts after max_slots otherwise.
+  Metrics run(std::uint64_t max_slots);
+
+  AsyncProcess& process(NodeId v);
+
+ private:
+  class Context;
+  struct PendingMessage {
+    std::uint64_t tick = 0;
+    std::uint64_t seq = 0;
+    NodeId to = kNoNode;
+    Received msg;
+    bool operator>(const PendingMessage& other) const {
+      return tick != other.tick ? tick > other.tick : seq > other.seq;
+    }
+  };
+
+  bool all_finished() const;
+  void deliver_until(std::uint64_t tick);
+
+  std::vector<LocalView> views_;
+  std::vector<std::unique_ptr<AsyncProcess>> processes_;
+  std::vector<Rng> rngs_;
+  std::priority_queue<PendingMessage, std::vector<PendingMessage>,
+                      std::greater<>>
+      pending_;
+  Channel channel_;
+  Metrics metrics_;
+  std::vector<std::uint64_t> last_write_slot_;  // per-node write dedup
+  std::uint64_t now_tick_ = 0;
+  std::uint64_t slot_index_ = 0;
+  std::uint64_t send_seq_ = 0;
+  std::uint32_t max_delay_ticks_;
+};
+
+}  // namespace mmn::sim

@@ -1,0 +1,40 @@
+#include "sim/channel.hpp"
+
+#include "support/check.hpp"
+
+namespace mmn::sim {
+
+void Channel::write(NodeId node, const Packet& packet) {
+  // One-write-per-node-per-slot is enforced by NodeContext, which owns the
+  // per-round write flag; here we only need the slot aggregate.
+  MMN_REQUIRE(node != kNoNode, "invalid writer id");
+  if (writers_ == 0) {
+    first_writer_ = node;
+    first_payload_ = packet;
+  }
+  last_writer_ = node;
+  ++writers_;
+}
+
+SlotObservation Channel::resolve(Metrics& metrics) {
+  SlotObservation obs;
+  if (writers_ == 0) {
+    obs.state = SlotState::kIdle;
+    ++metrics.slots_idle;
+  } else if (writers_ == 1) {
+    obs.state = SlotState::kSuccess;
+    obs.payload = first_payload_;
+    obs.writer = first_writer_;
+    ++metrics.slots_success;
+  } else {
+    obs.state = SlotState::kCollision;
+    ++metrics.slots_collision;
+  }
+  writers_ = 0;
+  first_writer_ = kNoNode;
+  last_writer_ = kNoNode;
+  first_payload_ = Packet{};
+  return obs;
+}
+
+}  // namespace mmn::sim

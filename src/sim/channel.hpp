@@ -1,0 +1,50 @@
+// The multiaccess collision channel (Section 2).
+//
+// Per slot, every node may submit at most one write.  The slot resolves to
+//   idle      — zero writers,
+//   success   — one writer; its payload is heard by every node,
+//   collision — two or more writers; only the fact of collision is heard.
+// Every node observes the same outcome.  This is exactly the formal object
+// the paper analyzes; counted slots therefore equal model time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "sim/message.hpp"
+#include "support/metrics.hpp"
+
+namespace mmn::sim {
+
+enum class SlotState : std::uint8_t { kIdle, kSuccess, kCollision };
+
+struct SlotObservation {
+  SlotState state = SlotState::kIdle;
+  Packet payload;            ///< meaningful only when state == kSuccess
+  NodeId writer = kNoNode;   ///< meaningful only when state == kSuccess
+
+  bool idle() const { return state == SlotState::kIdle; }
+  bool success() const { return state == SlotState::kSuccess; }
+  bool collision() const { return state == SlotState::kCollision; }
+};
+
+class Channel {
+ public:
+  /// Registers a write for the current slot.  At most one per node per slot.
+  void write(NodeId node, const Packet& packet);
+
+  /// Resolves the current slot, updates `metrics`, and resets for the next.
+  SlotObservation resolve(Metrics& metrics);
+
+  /// Number of writers registered so far in the current slot.
+  std::uint32_t writers() const { return writers_; }
+
+ private:
+  std::uint32_t writers_ = 0;
+  NodeId first_writer_ = kNoNode;
+  Packet first_payload_;
+  NodeId last_writer_ = kNoNode;
+};
+
+}  // namespace mmn::sim

@@ -1,0 +1,131 @@
+#include "sim/engine.hpp"
+
+#include <string>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace mmn::sim {
+
+class Engine::Context final : public NodeContext {
+ public:
+  Context(Engine& engine, NodeId v)
+      : engine_(engine),
+        view_(engine.views_[v]),
+        inbox_(engine.inbox_[v]),
+        rng_(engine.rngs_[v]) {}
+
+  std::uint64_t round() const override { return engine_.round_; }
+  const LocalView& view() const override { return view_; }
+  Rng& rng() override { return rng_; }
+  const std::vector<Received>& inbox() const override { return inbox_; }
+  const SlotObservation& slot() const override { return engine_.slot_; }
+
+  void send(EdgeId edge, const Packet& packet) override {
+    const int idx = view_.link_index(edge);
+    MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
+    const Neighbor& nb = view_.links[static_cast<std::size_t>(idx)];
+    engine_.next_inbox_[nb.id].push_back(Received{view_.self, edge, packet});
+    ++engine_.metrics_.p2p_messages;
+    sent_message_ = true;
+  }
+
+  void channel_write(const Packet& packet) override {
+    MMN_REQUIRE(!wrote_channel_, "at most one channel write per node per slot");
+    wrote_channel_ = true;
+    engine_.channel_.write(view_.self, packet);
+  }
+
+  bool wrote_channel() const override { return wrote_channel_; }
+  bool sent_message() const override { return sent_message_; }
+
+ private:
+  Engine& engine_;
+  const LocalView& view_;
+  const std::vector<Received>& inbox_;
+  Rng& rng_;
+  bool wrote_channel_ = false;
+  bool sent_message_ = false;
+};
+
+Engine::Engine(const Graph& g, const ProcessFactory& factory,
+               std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  views_.resize(n);
+  inbox_.resize(n);
+  next_inbox_.resize(n);
+  processes_.reserve(n);
+  rngs_.reserve(n);
+  Rng root(seed);
+  for (NodeId v = 0; v < n; ++v) {
+    LocalView& view = views_[v];
+    view.self = v;
+    view.n = n;
+    for (const EdgeRef& e : g.neighbors(v)) {
+      view.links.push_back(Neighbor{e.to, e.id, e.weight});
+    }
+    rngs_.push_back(root.fork(v));
+  }
+  // Views must be fully built before any factory call: a process may inspect
+  // only its own view, but the vector must not reallocate afterwards.
+  for (NodeId v = 0; v < n; ++v) {
+    processes_.push_back(factory(views_[v]));
+    MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
+  }
+}
+
+Engine::~Engine() = default;
+
+Process& Engine::process(NodeId v) {
+  MMN_REQUIRE(v < processes_.size(), "node id out of range");
+  return *processes_[v];
+}
+
+const Process& Engine::process(NodeId v) const {
+  MMN_REQUIRE(v < processes_.size(), "node id out of range");
+  return *processes_[v];
+}
+
+bool Engine::all_finished() const {
+  for (const auto& p : processes_) {
+    if (!p->finished()) return false;
+  }
+  return true;
+}
+
+void Engine::run_one_round() {
+  for (NodeId v = 0; v < processes_.size(); ++v) {
+    Context ctx(*this, v);
+    processes_[v]->round(ctx);
+  }
+  slot_ = channel_.resolve(metrics_);
+  for (NodeId v = 0; v < processes_.size(); ++v) {
+    inbox_[v].clear();
+    std::swap(inbox_[v], next_inbox_[v]);
+  }
+  ++round_;
+  ++metrics_.rounds;
+}
+
+bool Engine::step(std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    if (all_finished()) return true;
+    run_one_round();
+  }
+  return all_finished();
+}
+
+Metrics Engine::run(std::uint64_t max_rounds) {
+  const bool done = step(max_rounds);
+  MMN_ASSERT(done, "protocol did not terminate within " +
+                       std::to_string(max_rounds) + " rounds");
+  return metrics_;
+}
+
+Metrics run_network(const Graph& g, const ProcessFactory& factory,
+                    std::uint64_t seed, std::uint64_t max_rounds) {
+  Engine engine(g, factory, seed);
+  return engine.run(max_rounds);
+}
+
+}  // namespace mmn::sim

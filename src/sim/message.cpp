@@ -1,0 +1,3 @@
+#include "sim/message.hpp"
+
+// Packet is header-only; this translation unit anchors the library target.

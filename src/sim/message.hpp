@@ -1,0 +1,60 @@
+// Wire format for both media.
+//
+// The model (Section 2) bounds a message / slot payload by O(log n) bits plus
+// one data element.  We discretize this as a packet of at most kMaxWords
+// 64-bit words plus a 16-bit type tag; the bound is enforced at send time so
+// no algorithm can smuggle super-constant information into one message.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+#include "support/check.hpp"
+
+namespace mmn::sim {
+
+using Word = std::int64_t;
+
+class Packet {
+ public:
+  static constexpr std::size_t kMaxWords = 8;
+
+  Packet() = default;
+
+  explicit Packet(std::uint16_t type) : type_(type) {}
+
+  Packet(std::uint16_t type, std::initializer_list<Word> words) : type_(type) {
+    MMN_REQUIRE(words.size() <= kMaxWords, "packet exceeds the O(log n) bound");
+    for (Word w : words) words_[size_++] = w;
+  }
+
+  std::uint16_t type() const { return type_; }
+
+  std::size_t size() const { return size_; }
+
+  Word operator[](std::size_t i) const {
+    MMN_REQUIRE(i < size_, "packet word index out of range");
+    return words_[i];
+  }
+
+  void push(Word w) {
+    MMN_REQUIRE(size_ < kMaxWords, "packet exceeds the O(log n) bound");
+    words_[size_++] = w;
+  }
+
+  bool operator==(const Packet& other) const {
+    if (type_ != other.type_ || size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (words_[i] != other.words_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint16_t type_ = 0;
+  std::uint8_t size_ = 0;
+  std::array<Word, kMaxWords> words_{};
+};
+
+}  // namespace mmn::sim

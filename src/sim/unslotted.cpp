@@ -1,0 +1,68 @@
+#include "sim/unslotted.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace mmn::sim {
+
+UnslottedRun run_unslotted(
+    NodeId stations, const std::vector<std::vector<NodeId>>& writers_per_slot,
+    const UnslottedConfig& config) {
+  MMN_REQUIRE(stations >= 1, "need at least one station");
+  MMN_REQUIRE(config.transmit_ticks >= 1, "transmissions need positive length");
+  MMN_REQUIRE(config.idle_gap_ticks >= 1, "idle gap must be positive");
+  Rng rng(config.seed);
+
+  UnslottedRun run;
+  std::uint64_t boundary = 0;
+  for (std::uint64_t s = 0; s < writers_per_slot.size(); ++s) {
+    run.boundaries.push_back(boundary);
+    const auto& writers = writers_per_slot[s];
+    for (NodeId w : writers) {
+      MMN_REQUIRE(w < stations, "writer id out of range");
+    }
+    // Each active station wakes up after its personal reaction delay,
+    // transmits data for transmit_ticks, and holds the side-channel busy
+    // tone for exactly that interval.
+    std::uint64_t busy_until = boundary;  // end of the busy-tone envelope
+    for (NodeId w : writers) {
+      const std::uint64_t start =
+          boundary + 1 + rng.next_below(config.reaction_delay_max);
+      const std::uint64_t end = start + config.transmit_ticks;
+      run.transmissions.push_back(Transmission{w, s, start, end});
+      busy_until = std::max(busy_until, end);
+    }
+    // The slot ends one idle gap after the last carrier drops; with no
+    // writer the gap elapses immediately after the boundary.
+    boundary = busy_until + config.idle_gap_ticks;
+
+    // Listeners attribute everything between the two boundaries to slot s
+    // and count carriers: zero, one, or more than one.
+    if (writers.empty()) {
+      run.outcomes.push_back(SlotState::kIdle);
+    } else if (writers.size() == 1) {
+      run.outcomes.push_back(SlotState::kSuccess);
+    } else {
+      run.outcomes.push_back(SlotState::kCollision);
+    }
+  }
+  run.boundaries.push_back(boundary);
+  return run;
+}
+
+std::vector<SlotState> run_slotted_reference(
+    const std::vector<std::vector<NodeId>>& writers_per_slot) {
+  Channel channel;
+  Metrics metrics;
+  std::vector<SlotState> outcomes;
+  for (const auto& writers : writers_per_slot) {
+    for (NodeId w : writers) channel.write(w, Packet(1));
+    outcomes.push_back(channel.resolve(metrics).state);
+  }
+  return outcomes;
+}
+
+}  // namespace mmn::sim

@@ -1,0 +1,75 @@
+// Slotted from unslotted channel (Section 7.2).
+//
+// The engines assume a slotted channel; Section 7.2 justifies that: given an
+// FDMA side channel and asynchronously detectable idle periods (Molle 1981),
+// an unslotted channel self-organizes into slots.  Every station that is
+// active in the current slot transmits a busy tone on the side channel for
+// as long as it is busy; when the side channel has been idle for a guard
+// gap, every station — each with its own bounded reaction delay — declares
+// the slot over and starts the next one.
+//
+// This module simulates that construction in continuous time: stations get
+// per-slot random start offsets (clock jitter bounded by `reaction_delay_max`
+// ticks) and fixed-length data transmissions; slot boundaries emerge from
+// the busy-tone envelope rather than a global clock.  It demonstrates, and
+// the tests assert, the two properties the engines rely on:
+//
+//   1. containment — every data transmission of logical slot s lies strictly
+//      between the emergent boundaries of s (no straddling);
+//   2. equivalence — the per-slot outcome derived by listeners
+//      (idle / success / collision by transmitter count between boundaries)
+//      equals the outcome of an ideally slotted channel fed the same
+//      per-slot write decisions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/channel.hpp"
+
+namespace mmn::sim {
+
+struct UnslottedConfig {
+  /// Upper bound (exclusive) on each station's reaction delay per slot,
+  /// in ticks: clock jitter plus carrier-sense latency.
+  std::uint32_t reaction_delay_max = 8;
+
+  /// Length of one data transmission, in ticks.
+  std::uint32_t transmit_ticks = 32;
+
+  /// Idle-gap length on the side channel that signals end-of-slot.
+  std::uint32_t idle_gap_ticks = 4;
+
+  std::uint64_t seed = 1;
+};
+
+/// One data transmission as it happened on the continuous-time channel.
+struct Transmission {
+  NodeId station = kNoNode;
+  std::uint64_t logical_slot = 0;
+  std::uint64_t start_tick = 0;
+  std::uint64_t end_tick = 0;  // exclusive
+};
+
+struct UnslottedRun {
+  /// Emergent slot boundaries; boundary[s] is where slot s begins.
+  std::vector<std::uint64_t> boundaries;
+  /// Derived outcome of each logical slot (as every listener decodes it).
+  std::vector<SlotState> outcomes;
+  /// Every data transmission, for containment checking.
+  std::vector<Transmission> transmissions;
+};
+
+/// Simulates `writers_per_slot.size()` logical slots on the unslotted
+/// channel; writers_per_slot[s] lists the stations transmitting data in
+/// logical slot s.
+UnslottedRun run_unslotted(NodeId stations,
+                           const std::vector<std::vector<NodeId>>& writers_per_slot,
+                           const UnslottedConfig& config);
+
+/// The reference: the same write decisions on an ideally slotted channel.
+std::vector<SlotState> run_slotted_reference(
+    const std::vector<std::vector<NodeId>>& writers_per_slot);
+
+}  // namespace mmn::sim

@@ -1,0 +1,23 @@
+#include "support/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mmn {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::fprintf(stderr, "mmn: invariant violated at %s:%d: (%s) — %s\n", file,
+               line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void precondition_failure(const char* expr, const char* func,
+                          const std::string& message) {
+  throw std::invalid_argument(std::string("mmn: precondition of ") + func +
+                              " violated: (" + expr + ") — " + message);
+}
+
+}  // namespace mmn

@@ -1,0 +1,37 @@
+// Checked assertions and precondition helpers.
+//
+// Two distinct failure categories, per the error-handling split in the C++
+// Core Guidelines:
+//  * MMN_ASSERT  — internal invariant of the library.  A violation is a bug in
+//    mmn itself; the process aborts with a diagnostic.  Always on, including
+//    release builds: the simulator's results are only meaningful when its
+//    invariants hold.
+//  * MMN_REQUIRE — precondition on a public API.  A violation is a caller bug
+//    and throws std::invalid_argument so applications can test and recover.
+#pragma once
+
+#include <string>
+
+namespace mmn {
+
+[[noreturn]] void assertion_failure(const char* expr, const char* file,
+                                    int line, const std::string& message);
+
+[[noreturn]] void precondition_failure(const char* expr, const char* func,
+                                       const std::string& message);
+
+}  // namespace mmn
+
+#define MMN_ASSERT(expr, message)                                     \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::mmn::assertion_failure(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                 \
+  } while (false)
+
+#define MMN_REQUIRE(expr, message)                                \
+  do {                                                            \
+    if (!(expr)) [[unlikely]] {                                   \
+      ::mmn::precondition_failure(#expr, __func__, (message));    \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,80 @@
+#include "support/math.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+int ilog2_floor(std::uint64_t x) {
+  MMN_REQUIRE(x >= 1, "ilog2_floor requires x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+int ilog2_ceil(std::uint64_t x) {
+  MMN_REQUIRE(x >= 1, "ilog2_ceil requires x >= 1");
+  const int fl = ilog2_floor(x);
+  return (x == (std::uint64_t{1} << fl)) ? fl : fl + 1;
+}
+
+std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  // Newton iteration seeded from the float estimate; converges in <= 2 steps
+  // and is then clamped to the exact floor.
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (r > 0 && r > x / r) --r;
+  while ((r + 1) <= x / (r + 1)) ++r;
+  return r;
+}
+
+std::uint64_t isqrt_ceil(std::uint64_t x) {
+  const std::uint64_t r = isqrt(x);
+  return r * r == x ? r : r + 1;
+}
+
+int log_star(std::uint64_t n) {
+  MMN_REQUIRE(n >= 1, "log_star requires n >= 1");
+  int i = 0;
+  double v = static_cast<double>(n);
+  while (v > 1.0) {
+    v = std::log2(v);
+    ++i;
+  }
+  return i;
+}
+
+double exp_tower(int i, double cap) {
+  MMN_REQUIRE(i >= 1, "exp_tower requires i >= 1");
+  MMN_REQUIRE(cap >= 1.0, "exp_tower requires cap >= 1");
+  double e = 1.0;  // E_1
+  for (int k = 2; k <= i; ++k) {
+    if (e >= std::log(cap)) return cap;  // e^e would exceed cap
+    e = std::exp(e);
+  }
+  return e < cap ? e : cap;
+}
+
+int cole_vishkin_iterations(int bits) {
+  MMN_REQUIRE(bits >= 1, "cole_vishkin_iterations requires bits >= 1");
+  int iters = 0;
+  int b = bits;
+  while (b > 3) {
+    b = ilog2_ceil(static_cast<std::uint64_t>(b)) + 1;
+    ++iters;
+  }
+  // At b == 3 colors are already in {0..7}; two more iterations pin them
+  // into the {0..5} palette (2k + bit with k in {0,1,2}).
+  return iters + 2;
+}
+
+int partition_phases(std::uint64_t n) {
+  MMN_REQUIRE(n >= 1, "partition_phases requires n >= 1");
+  if (n == 1) return 0;
+  // After phase i every fragment has level >= i + 1, i.e. size >= 2^{i+1}.
+  // Run phases i = 0 .. L-1 where L = ceil(log2(n) / 2), so the final size is
+  // >= 2^L >= sqrt(n).
+  return (ilog2_ceil(n) + 1) / 2;
+}
+
+}  // namespace mmn

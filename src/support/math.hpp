@@ -1,0 +1,47 @@
+// Integer math used throughout the library.
+//
+// The paper's complexity bounds are phrased in terms of sqrt(n), log n,
+// log* n and the exponential tower E_i (Section 4).  All of these are
+// implemented here on integers, exactly, so phase schedules computed
+// independently by every node agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace mmn {
+
+/// floor(log2(x)) for x >= 1.
+int ilog2_floor(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+int ilog2_ceil(std::uint64_t x);
+
+/// floor(sqrt(x)).
+std::uint64_t isqrt(std::uint64_t x);
+
+/// ceil(sqrt(x)).
+std::uint64_t isqrt_ceil(std::uint64_t x);
+
+/// log* n with base-2 logarithms: the least i such that applying log2 i times
+/// to n yields a value <= 1.  log_star(1) == 0, log_star(2) == 1,
+/// log_star(16) == 3, log_star(65536) == 4.
+int log_star(std::uint64_t n);
+
+/// The exponential tower of Section 4: E_1 = 1 and E_i = e^{E_{i-1}}.
+/// Values above `cap` saturate to `cap` (the algorithm only ever compares
+/// E_i / sqrt(n) against 1, so saturation at cap >= n is lossless).
+double exp_tower(int i, double cap);
+
+/// Number of Cole–Vishkin iterations required to reduce colors representable
+/// in `bits` bits to the range {0..5}.  Each iteration maps a b-bit palette to
+/// a (ceil(log2 b) + 1)-bit palette; the fixed point is 3 bits ({0..5} needs
+/// values 2k+b with k < 3).  Deterministic function of `bits` so all nodes
+/// can precompute an identical schedule.
+int cole_vishkin_iterations(int bits);
+
+/// Number of phases of the deterministic partitioning algorithm for an
+/// n-node network: fragments must reach size >= sqrt(n), i.e. level
+/// >= ceil(log2(n)/2).
+int partition_phases(std::uint64_t n);
+
+}  // namespace mmn

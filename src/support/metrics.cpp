@@ -1,0 +1,29 @@
+#include "support/metrics.hpp"
+
+#include <sstream>
+
+namespace mmn {
+
+Metrics& Metrics::operator+=(const Metrics& other) {
+  rounds += other.rounds;
+  p2p_messages += other.p2p_messages;
+  slots_idle += other.slots_idle;
+  slots_success += other.slots_success;
+  slots_collision += other.slots_collision;
+  return *this;
+}
+
+Metrics operator+(Metrics a, const Metrics& b) {
+  a += b;
+  return a;
+}
+
+std::string Metrics::to_string() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " msgs=" << p2p_messages
+     << " slots(idle/succ/coll)=" << slots_idle << '/' << slots_success << '/'
+     << slots_collision;
+  return os.str();
+}
+
+}  // namespace mmn

@@ -1,0 +1,34 @@
+// Model-level cost accounting.
+//
+// The paper measures time as synchronous rounds (message delay = slot length
+// = one time unit) and communication as point-to-point messages plus time.
+// Every engine run fills in a Metrics record; benches normalize these against
+// the paper's bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mmn {
+
+struct Metrics {
+  std::uint64_t rounds = 0;         ///< simulated time (rounds == slots)
+  std::uint64_t p2p_messages = 0;   ///< point-to-point messages delivered
+  std::uint64_t slots_idle = 0;     ///< channel slots with zero writers
+  std::uint64_t slots_success = 0;  ///< channel slots with one writer
+  std::uint64_t slots_collision = 0;  ///< channel slots with >= 2 writers
+
+  /// Channel slots actually used by some writer (success + collision).
+  std::uint64_t slots_busy() const { return slots_success + slots_collision; }
+
+  /// The paper's communication complexity: messages plus time.
+  std::uint64_t communication() const { return p2p_messages + rounds; }
+
+  Metrics& operator+=(const Metrics& other);
+
+  std::string to_string() const;
+};
+
+Metrics operator+(Metrics a, const Metrics& b);
+
+}  // namespace mmn

@@ -1,0 +1,64 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MMN_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::add(const std::string& value) {
+  MMN_REQUIRE(!rows_.empty(), "begin_row before add");
+  MMN_REQUIRE(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(value);
+}
+
+void Table::add(std::uint64_t value) { add(std::to_string(value)); }
+
+void Table::add(std::int64_t value) { add(std::to_string(value)); }
+
+void Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  add(os.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << "| " << std::setw(static_cast<int>(width[c])) << v << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+}  // namespace mmn

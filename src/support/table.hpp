@@ -1,0 +1,33 @@
+// Minimal fixed-width table printer for benchmark outputs.
+//
+// Every bench binary regenerates one experiment table from DESIGN.md; this
+// keeps their output uniform and diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with add().
+  void begin_row();
+  void add(const std::string& value);
+  void add(std::uint64_t value);
+  void add(std::int64_t value);
+  void add(double value, int precision = 3);
+
+  /// Writes the table with aligned columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmn

@@ -1,0 +1,420 @@
+// Tests for the channel-protocol toolbox: Capetanakis tree resolution,
+// deterministic election, randomized (pseudo-Bayesian) scheduling, TDMA and
+// the Greenberg–Ladner size estimator.
+//
+// Protocols are driven against a real Channel: each slot, every station
+// decides via should_transmit, the slot resolves, and every station (plus a
+// passive listener) observes the same outcome.  This is exactly how the
+// engine drives them inside processes.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/capetanakis.hpp"
+#include "channel/election.hpp"
+#include "channel/pseudo_bayesian.hpp"
+#include "channel/size_estimator.hpp"
+#include "channel/tdma.hpp"
+#include "sim/channel.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+namespace {
+
+using sim::Channel;
+using sim::Packet;
+using sim::SlotObservation;
+
+/// Picks k distinct station ids out of [0, n).
+std::vector<std::uint64_t> pick_ids(std::uint64_t n, std::size_t k,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::uint64_t> ids;
+  while (ids.size() < k) ids.insert(rng.next_below(n));
+  return {ids.begin(), ids.end()};
+}
+
+// --- Capetanakis ---------------------------------------------------------
+
+struct CapetanakisRun {
+  std::uint64_t slots = 0;
+  std::vector<std::uint64_t> schedule;       // ids in success order
+  std::vector<std::uint64_t> listener_view;  // as decoded by the listener
+  std::uint64_t listener_done_slot = 0;
+};
+
+CapetanakisRun run_capetanakis(std::uint64_t n,
+                               const std::vector<std::uint64_t>& ids,
+                               bool massey_skip = false) {
+  std::vector<CapetanakisResolver> stations;
+  stations.reserve(ids.size());
+  for (std::uint64_t id : ids) stations.emplace_back(n, id, massey_skip);
+  CapetanakisResolver listener(n, std::nullopt, massey_skip);
+
+  Channel channel;
+  Metrics metrics;
+  CapetanakisRun run;
+  while (!listener.done()) {
+    std::vector<std::size_t> writers;
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      if (stations[s].should_transmit()) {
+        channel.write(static_cast<NodeId>(ids[s]),
+                      Packet(1, {static_cast<sim::Word>(ids[s])}));
+        writers.push_back(s);
+      }
+    }
+    EXPECT_FALSE(listener.should_transmit());
+    const SlotObservation obs = channel.resolve(metrics);
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      stations[s].observe(obs, obs.success() &&
+                                   obs.writer == static_cast<NodeId>(ids[s]));
+    }
+    listener.observe(obs);
+    if (obs.success()) run.schedule.push_back(obs.payload[0]);
+    ++run.slots;
+  }
+  run.listener_done_slot = run.slots;
+  for (const Packet& p : listener.successes()) {
+    run.listener_view.push_back(p[0]);
+  }
+  // Contenders must agree they are done exactly when the listener is.
+  for (const auto& s : stations) {
+    EXPECT_TRUE(s.done());
+    EXPECT_TRUE(s.succeeded());
+  }
+  return run;
+}
+
+struct CapetanakisCase {
+  std::uint64_t n;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class CapetanakisTest : public ::testing::TestWithParam<CapetanakisCase> {};
+
+TEST_P(CapetanakisTest, SchedulesEveryStationExactlyOnce) {
+  const auto& c = GetParam();
+  const auto ids = pick_ids(c.n, c.k, c.seed);
+  const CapetanakisRun run = run_capetanakis(c.n, ids);
+  // Depth-first traversal of the id space yields the ids in sorted order.
+  EXPECT_EQ(run.schedule, ids);
+  EXPECT_EQ(run.listener_view, ids);
+}
+
+TEST_P(CapetanakisTest, SlotCountWithinTheoreticalBound) {
+  const auto& c = GetParam();
+  const auto ids = pick_ids(c.n, c.k, c.seed);
+  const CapetanakisRun run = run_capetanakis(c.n, ids);
+  // O(k log(n/k) + k); the DFS tree has at most 2k(log2(n/k)+2)+1 probes.
+  const double bound =
+      2.0 * static_cast<double>(c.k) *
+          (std::max(1.0, std::log2(static_cast<double>(c.n) / c.k)) + 2.0) +
+      1.0;
+  EXPECT_LE(static_cast<double>(run.slots), bound)
+      << "n=" << c.n << " k=" << c.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CapetanakisTest,
+    ::testing::Values(CapetanakisCase{16, 1, 1}, CapetanakisCase{16, 4, 2},
+                      CapetanakisCase{16, 16, 3}, CapetanakisCase{64, 8, 4},
+                      CapetanakisCase{256, 16, 5}, CapetanakisCase{256, 3, 6},
+                      CapetanakisCase{1024, 32, 7},
+                      CapetanakisCase{1024, 1, 8},
+                      CapetanakisCase{4096, 64, 9},
+                      CapetanakisCase{4096, 64, 10}));
+
+TEST(Capetanakis, NoStationsResolvesInOneIdleSlot) {
+  const CapetanakisRun run = run_capetanakis(64, {});
+  EXPECT_EQ(run.slots, 1u);
+  EXPECT_TRUE(run.schedule.empty());
+}
+
+TEST_P(CapetanakisTest, MasseySkipKeepsScheduleShrinksSlots) {
+  const auto& c = GetParam();
+  const auto ids = pick_ids(c.n, c.k, c.seed);
+  const CapetanakisRun plain = run_capetanakis(c.n, ids, false);
+  const CapetanakisRun skip = run_capetanakis(c.n, ids, true);
+  EXPECT_EQ(skip.schedule, plain.schedule);
+  EXPECT_LE(skip.slots, plain.slots);
+}
+
+TEST(Capetanakis, MasseySkipSavesOnSkewedPopulations) {
+  // Both stations at the top of the id space: every split leaves the left
+  // half idle and the right half doomed to collide — the skip removes all of
+  // those doomed probes.
+  const CapetanakisRun plain = run_capetanakis(1 << 16, {65534, 65535}, false);
+  const CapetanakisRun skip = run_capetanakis(1 << 16, {65534, 65535}, true);
+  EXPECT_EQ(plain.schedule, skip.schedule);
+  EXPECT_LT(skip.slots, plain.slots);
+}
+
+TEST(Capetanakis, RejectsIdOutsideSpace) {
+  EXPECT_THROW(CapetanakisResolver(8, 8), std::invalid_argument);
+  EXPECT_NO_THROW(CapetanakisResolver(8, 7));
+}
+
+TEST(Capetanakis, DuplicateStationIdsAbort) {
+  // Two stations sharing an id collide forever inside a singleton interval;
+  // the resolver detects the model violation and aborts.
+  CapetanakisResolver a(2, 1), b(2, 1);
+  sim::Channel channel;
+  Metrics metrics;
+  auto drive = [&] {
+    for (int i = 0; i < 10; ++i) {
+      if (a.should_transmit()) channel.write(0, sim::Packet(1));
+      if (b.should_transmit()) channel.write(1, sim::Packet(1));
+      const auto obs = channel.resolve(metrics);
+      a.observe(obs);
+      b.observe(obs);
+    }
+  };
+  EXPECT_DEATH(drive(), "duplicate station ids");
+}
+
+TEST(Capetanakis, ObserveAfterDoneThrows) {
+  CapetanakisResolver r(4, std::nullopt);
+  SlotObservation idle;
+  r.observe(idle);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.observe(idle), std::invalid_argument);
+}
+
+// --- Election ------------------------------------------------------------
+
+struct ElectionCase {
+  std::uint64_t n;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class ElectionTest : public ::testing::TestWithParam<ElectionCase> {};
+
+TEST_P(ElectionTest, MaxIdWinsAndListenersDecodeIt) {
+  const auto& c = GetParam();
+  const auto ids = pick_ids(c.n, c.k, c.seed);
+  std::vector<ChannelElection> stations;
+  for (std::uint64_t id : ids) stations.emplace_back(c.n, id);
+  ChannelElection listener(c.n, ChannelElection::kNoCandidate);
+
+  Channel channel;
+  Metrics metrics;
+  int slots = 0;
+  while (!listener.done()) {
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      if (stations[s].should_transmit()) {
+        channel.write(static_cast<NodeId>(ids[s]), Packet(1));
+      }
+    }
+    const SlotObservation obs = channel.resolve(metrics);
+    for (auto& st : stations) st.observe(obs);
+    listener.observe(obs);
+    ++slots;
+  }
+  const std::uint64_t expected = *std::max_element(ids.begin(), ids.end());
+  EXPECT_EQ(listener.leader(), expected);
+  EXPECT_TRUE(listener.any_candidate());
+  EXPECT_EQ(slots, listener.total_rounds());
+  EXPECT_EQ(slots, c.n == 1 ? 1 : ilog2_ceil(c.n));
+  int winners = 0;
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    EXPECT_EQ(stations[s].leader(), expected);
+    if (stations[s].won()) {
+      ++winners;
+      EXPECT_EQ(ids[s], expected);
+    }
+  }
+  EXPECT_EQ(winners, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ElectionTest,
+    ::testing::Values(ElectionCase{16, 1, 1}, ElectionCase{16, 16, 2},
+                      ElectionCase{64, 5, 3}, ElectionCase{256, 100, 4},
+                      ElectionCase{1024, 7, 5}, ElectionCase{1 << 16, 50, 6}));
+
+TEST(Election, NoCandidates) {
+  ChannelElection listener(16, ChannelElection::kNoCandidate);
+  Channel channel;
+  Metrics metrics;
+  while (!listener.done()) {
+    listener.observe(channel.resolve(metrics));
+  }
+  EXPECT_FALSE(listener.any_candidate());
+}
+
+// --- Randomized scheduler -------------------------------------------------
+
+struct SchedulerRun {
+  std::uint64_t slots = 0;
+  std::size_t scheduled = 0;
+};
+
+SchedulerRun run_randomized(std::size_t k, double initial_backlog,
+                            std::uint64_t seed) {
+  Rng root(seed);
+  std::vector<RandomizedScheduler> stations;
+  std::vector<Rng> rngs;
+  for (std::size_t s = 0; s < k; ++s) {
+    stations.emplace_back(initial_backlog, true);
+    rngs.push_back(root.fork(s));
+  }
+  RandomizedScheduler listener(initial_backlog, false);
+  Rng listener_rng = root.fork(k + 1);
+
+  Channel channel;
+  Metrics metrics;
+  SchedulerRun run;
+  while (!listener.done()) {
+    for (std::size_t s = 0; s < k; ++s) {
+      if (stations[s].should_transmit(rngs[s])) {
+        channel.write(static_cast<NodeId>(s), Packet(1, {static_cast<sim::Word>(s)}));
+      }
+    }
+    EXPECT_FALSE(listener.should_transmit(listener_rng));
+    const SlotObservation obs = channel.resolve(metrics);
+    for (std::size_t s = 0; s < k; ++s) {
+      stations[s].observe(obs, obs.success() && obs.writer == s);
+    }
+    listener.observe(obs);
+    ++run.slots;
+    if (run.slots >= 1000u + 100u * k) {
+      ADD_FAILURE() << "scheduler not converging after " << run.slots
+                    << " slots";
+      break;
+    }
+  }
+  run.scheduled = listener.successes().size();
+  for (auto& st : stations) {
+    EXPECT_TRUE(st.succeeded());
+    EXPECT_TRUE(st.done());
+  }
+  return run;
+}
+
+TEST(RandomizedScheduler, SchedulesAllStations) {
+  for (std::size_t k : {1u, 2u, 5u, 20u, 64u}) {
+    const SchedulerRun run = run_randomized(k, static_cast<double>(k), 42 + k);
+    EXPECT_EQ(run.scheduled, k);
+  }
+}
+
+TEST(RandomizedScheduler, ZeroStationsTerminatesImmediately) {
+  const SchedulerRun run = run_randomized(0, 4.0, 1);
+  EXPECT_EQ(run.scheduled, 0u);
+  EXPECT_EQ(run.slots, 2u);  // one empty contention slot + one idle busy slot
+}
+
+TEST(RandomizedScheduler, ExpectedSlotsPerStationIsConstant) {
+  // Averaged over seeds, the contention lane achieves ~1/e throughput, so
+  // total slots (both lanes) stay below ~8 per station.
+  const std::size_t k = 50;
+  double total_slots = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    total_slots += static_cast<double>(
+        run_randomized(k, static_cast<double>(k), 1000 + t).slots);
+  }
+  const double per_station = total_slots / trials / static_cast<double>(k);
+  EXPECT_LT(per_station, 8.0);
+  EXPECT_GT(per_station, 2.0);  // both lanes cost at least 2k slots total
+}
+
+TEST(RandomizedScheduler, RobustToBadInitialEstimate) {
+  // Pessimistic and optimistic initial backlogs must still converge.
+  EXPECT_EQ(run_randomized(20, 1.0, 7).scheduled, 20u);
+  EXPECT_EQ(run_randomized(3, 500.0, 8).scheduled, 3u);
+}
+
+// --- TDMA ----------------------------------------------------------------
+
+TEST(Tdma, OwnerCycles) {
+  const TdmaSchedule tdma(4);
+  EXPECT_EQ(tdma.owner(0), 0u);
+  EXPECT_EQ(tdma.owner(3), 3u);
+  EXPECT_EQ(tdma.owner(4), 0u);
+  EXPECT_TRUE(tdma.my_slot(6, 2));
+  EXPECT_FALSE(tdma.my_slot(6, 3));
+  EXPECT_EQ(tdma.cycle_length(), 4u);
+}
+
+TEST(Tdma, RejectsZeroStations) {
+  EXPECT_THROW(TdmaSchedule(0), std::invalid_argument);
+}
+
+// --- Size estimator --------------------------------------------------------
+
+std::uint64_t run_estimate(std::uint64_t n, std::uint64_t seed) {
+  Rng root(seed);
+  std::vector<SizeEstimator> nodes(n);
+  std::vector<Rng> rngs;
+  for (std::uint64_t v = 0; v < n; ++v) rngs.push_back(root.fork(v));
+  Channel channel;
+  Metrics metrics;
+  while (!nodes[0].done()) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (nodes[v].should_transmit(rngs[v])) {
+        channel.write(static_cast<NodeId>(v), Packet(1));
+      }
+    }
+    const SlotObservation obs = channel.resolve(metrics);
+    for (auto& node : nodes) node.observe(obs);
+  }
+  // Every node agrees on the estimate.
+  for (auto& node : nodes) {
+    EXPECT_TRUE(node.done());
+    EXPECT_EQ(node.estimate(), nodes[0].estimate());
+  }
+  return nodes[0].estimate();
+}
+
+TEST(SizeEstimator, MedianEstimateWithinConstantFactor) {
+  for (std::uint64_t n : {16ULL, 64ULL, 256ULL, 1024ULL}) {
+    std::vector<std::uint64_t> estimates;
+    for (std::uint64_t seed = 0; seed < 31; ++seed) {
+      estimates.push_back(run_estimate(n, seed));
+    }
+    std::sort(estimates.begin(), estimates.end());
+    const std::uint64_t median = estimates[estimates.size() / 2];
+    EXPECT_GE(median, n / 16) << "n=" << n;
+    EXPECT_LE(median, n * 16) << "n=" << n;
+  }
+}
+
+TEST(SizeEstimator, RoundsAreLogLog) {
+  // The protocol runs ~log2(n) rounds of coin flips (the first idle round).
+  std::uint64_t max_rounds = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng root(seed);
+    std::vector<SizeEstimator> nodes(1024);
+    std::vector<Rng> rngs;
+    for (std::uint64_t v = 0; v < 1024; ++v) rngs.push_back(root.fork(v));
+    Channel channel;
+    Metrics metrics;
+    while (!nodes[0].done()) {
+      for (std::uint64_t v = 0; v < 1024; ++v) {
+        if (nodes[v].should_transmit(rngs[v])) {
+          channel.write(static_cast<NodeId>(v), Packet(1));
+        }
+      }
+      const auto obs = channel.resolve(metrics);
+      for (auto& node : nodes) node.observe(obs);
+    }
+    max_rounds = std::max(max_rounds, static_cast<std::uint64_t>(nodes[0].rounds()));
+  }
+  EXPECT_LE(max_rounds, 24u);  // ~log2(1024) + tail
+}
+
+TEST(SizeEstimator, AccessorsRequireCompletion) {
+  SizeEstimator est;
+  EXPECT_THROW(est.estimate(), std::invalid_argument);
+  EXPECT_THROW(est.rounds(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmn

@@ -1,0 +1,266 @@
+// Tests for the symmetry-breaking module: Cole–Vishkin updates, GPS forest
+// 3-coloring, root-red recoloring, MIS growth and the Step-6 cut.
+//
+// The partition algorithm's correctness rests on these invariants, so they
+// are property-tested over large random-forest sweeps.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coloring/cole_vishkin.hpp"
+#include "coloring/forest_coloring.hpp"
+#include "coloring/mis.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+namespace {
+
+/// Random rooted forest: vertex v attaches to a random earlier vertex or
+/// becomes a root with probability root_p.
+RootedForest random_forest(std::uint32_t n, double root_p, std::uint64_t seed) {
+  Rng rng(seed);
+  RootedForest f;
+  f.parent.resize(n);
+  f.parent[0] = 0;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    f.parent[v] = rng.next_bernoulli(root_p)
+                      ? v
+                      : static_cast<std::uint32_t>(rng.next_below(v));
+  }
+  return f;
+}
+
+/// A path forest 0 <- 1 <- 2 ... (worst case for coloring depth).
+RootedForest path_forest(std::uint32_t n) {
+  RootedForest f;
+  f.parent.resize(n);
+  f.parent[0] = 0;
+  for (std::uint32_t v = 1; v < n; ++v) f.parent[v] = v - 1;
+  return f;
+}
+
+std::vector<Color> identity_ids(std::uint32_t n) {
+  std::vector<Color> ids(n);
+  for (std::uint32_t v = 0; v < n; ++v) ids[v] = v;
+  return ids;
+}
+
+TEST(ColeVishkin, UpdatePreservesDistinctnessOnChains) {
+  // If a != b and b != c then cv(a, b) != cv(b, c): the CV chain property.
+  Rng rng(1);
+  for (int t = 0; t < 100000; ++t) {
+    const Color a = rng.next_below(1 << 20);
+    const Color b = rng.next_below(1 << 20);
+    const Color c = rng.next_below(1 << 20);
+    if (a == b || b == c) continue;
+    EXPECT_NE(cv_update(a, b), cv_update(b, c))
+        << "a=" << a << " b=" << b << " c=" << c;
+  }
+}
+
+TEST(ColeVishkin, RootUpdateDiffersFromChildren) {
+  Rng rng(2);
+  for (int t = 0; t < 100000; ++t) {
+    const Color r = rng.next_below(1 << 20);
+    const Color a = rng.next_below(1 << 20);
+    if (a == r) continue;
+    EXPECT_NE(cv_update(a, r), cv_update_root(r)) << "a=" << a << " r=" << r;
+  }
+}
+
+TEST(ColeVishkin, UpdateShrinksPalette) {
+  // From b-bit colors the new palette is at most 2b values.
+  Rng rng(3);
+  for (int t = 0; t < 10000; ++t) {
+    const Color a = rng.next_below(1 << 16);
+    const Color b = rng.next_below(1 << 16);
+    if (a == b) continue;
+    EXPECT_LT(cv_update(a, b), 32u);  // 2 * 16 bits
+    EXPECT_LT(cv_update_root(a), 2u);
+  }
+}
+
+TEST(ColeVishkin, RejectsEqualColors) {
+  EXPECT_THROW(cv_update(5, 5), std::invalid_argument);
+}
+
+TEST(ColeVishkin, SmallestFreeColor) {
+  EXPECT_EQ(smallest_free_color(0, 1), 2);
+  EXPECT_EQ(smallest_free_color(1, 0), 2);
+  EXPECT_EQ(smallest_free_color(0, 2), 1);
+  EXPECT_EQ(smallest_free_color(1, 2), 0);
+  EXPECT_EQ(smallest_free_color(0, 0), 1);
+  EXPECT_EQ(smallest_free_color(2, 2), 0);
+  EXPECT_EQ(smallest_free_color(-1, 1), 0);
+  EXPECT_EQ(smallest_free_color(5, 7), 0);  // out-of-palette forbidders
+}
+
+struct ForestCase {
+  std::uint32_t n;
+  double root_p;
+  std::uint64_t seed;
+};
+
+class ForestColoringTest : public ::testing::TestWithParam<ForestCase> {};
+
+TEST_P(ForestColoringTest, CvIterationsReachSixColors) {
+  const auto& c = GetParam();
+  const RootedForest f = random_forest(c.n, c.root_p, c.seed);
+  f.validate();
+  std::vector<Color> colors = identity_ids(c.n);
+  const int bits = std::max(1, ilog2_ceil(std::max<std::uint64_t>(2, c.n)));
+  for (int i = 0; i < cole_vishkin_iterations(bits); ++i) {
+    colors = cv_iteration(f, colors);
+    ASSERT_TRUE(is_proper_coloring(f, colors)) << "iteration " << i;
+  }
+  for (Color col : colors) EXPECT_LE(col, 5u);
+}
+
+TEST_P(ForestColoringTest, ThreeColorProducesProperThreeColoring) {
+  const auto& c = GetParam();
+  const RootedForest f = random_forest(c.n, c.root_p, c.seed);
+  const int bits = std::max(1, ilog2_ceil(std::max<std::uint64_t>(2, c.n)));
+  const std::vector<Color> colors = three_color(f, identity_ids(c.n), bits);
+  EXPECT_TRUE(is_proper_coloring(f, colors));
+  for (Color col : colors) EXPECT_LE(col, 2u);
+}
+
+TEST_P(ForestColoringTest, ShiftDownMakesSiblingsMonochromatic) {
+  const auto& c = GetParam();
+  const RootedForest f = random_forest(c.n, c.root_p, c.seed);
+  const int bits = std::max(1, ilog2_ceil(std::max<std::uint64_t>(2, c.n)));
+  std::vector<Color> colors = identity_ids(c.n);
+  for (int i = 0; i < cole_vishkin_iterations(bits); ++i) {
+    colors = cv_iteration(f, colors);
+  }
+  const std::vector<Color> shifted = shift_down(f, colors);
+  EXPECT_TRUE(is_proper_coloring(f, shifted));
+  const auto kids = f.children();
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    for (std::size_t i = 1; i < kids[v].size(); ++i) {
+      EXPECT_EQ(shifted[kids[v][i]], shifted[kids[v][0]]);
+    }
+  }
+}
+
+TEST_P(ForestColoringTest, RootRedRecolorMakesAllRootsRed) {
+  const auto& c = GetParam();
+  const RootedForest f = random_forest(c.n, c.root_p, c.seed);
+  const int bits = std::max(1, ilog2_ceil(std::max<std::uint64_t>(2, c.n)));
+  const std::vector<Color> three = three_color(f, identity_ids(c.n), bits);
+  const std::vector<Color> recolored = root_red_recolor(f, three);
+  EXPECT_TRUE(is_proper_coloring(f, recolored));
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (f.is_root(v)) {
+      EXPECT_EQ(recolored[v], kRed);
+    }
+    EXPECT_LE(recolored[v], 2u);
+  }
+}
+
+TEST_P(ForestColoringTest, MisIsIndependentDominatingAndContainsRoots) {
+  const auto& c = GetParam();
+  const RootedForest f = random_forest(c.n, c.root_p, c.seed);
+  const int bits = std::max(1, ilog2_ceil(std::max<std::uint64_t>(2, c.n)));
+  std::vector<Color> colors = three_color(f, identity_ids(c.n), bits);
+  colors = root_red_recolor(f, colors);
+  colors = grow_red_mis(f, colors);
+  EXPECT_TRUE(red_is_independent(f, colors));
+  EXPECT_TRUE(red_is_dominating(f, colors));
+  for (std::uint32_t v = 0; v < f.size(); ++v) {
+    if (f.is_root(v)) {
+      EXPECT_EQ(colors[v], kRed);
+    }
+  }
+}
+
+TEST_P(ForestColoringTest, CutComponentsHaveBoundedDepthAndRedRoots) {
+  const auto& c = GetParam();
+  const RootedForest f = random_forest(c.n, c.root_p, c.seed);
+  const int bits = std::max(1, ilog2_ceil(std::max<std::uint64_t>(2, c.n)));
+  std::vector<Color> colors = three_color(f, identity_ids(c.n), bits);
+  colors = root_red_recolor(f, colors);
+  colors = grow_red_mis(f, colors);
+  const RootedForest cut = cut_at_red_internals(f, colors);
+  cut.validate();
+  // Every new root is red: either an original root or a cut red internal.
+  for (std::uint32_t v = 0; v < cut.size(); ++v) {
+    if (cut.is_root(v)) {
+      EXPECT_EQ(colors[v], kRed) << v;
+    }
+  }
+  // The paper's Step 6 guarantee: components have radius at most four.
+  EXPECT_LE(max_depth(cut), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ForestColoringTest,
+    ::testing::Values(ForestCase{1, 1.0, 1}, ForestCase{2, 0.5, 2},
+                      ForestCase{10, 0.3, 3}, ForestCase{100, 0.1, 4},
+                      ForestCase{100, 0.02, 5}, ForestCase{1000, 0.05, 6},
+                      ForestCase{1000, 0.005, 7}, ForestCase{5000, 0.01, 8},
+                      ForestCase{5000, 0.001, 9}, ForestCase{20000, 0.0005, 10}));
+
+TEST(ForestColoring, PathForestWorstCase) {
+  // Long chains are the hardest case for the MIS distance bound.
+  for (std::uint32_t n : {2u, 3u, 5u, 64u, 1000u}) {
+    const RootedForest f = path_forest(n);
+    const int bits = std::max(1, ilog2_ceil(std::max<std::uint64_t>(2, n)));
+    std::vector<Color> colors = three_color(f, identity_ids(n), bits);
+    colors = root_red_recolor(f, colors);
+    colors = grow_red_mis(f, colors);
+    const RootedForest cut = cut_at_red_internals(f, colors);
+    EXPECT_LE(max_depth(cut), 4u) << "n=" << n;
+  }
+}
+
+TEST(ForestColoring, SingletonForest) {
+  RootedForest f;
+  f.parent = {0};
+  std::vector<Color> colors = three_color(f, {0}, 1);
+  EXPECT_LE(colors[0], 2u);
+  colors = root_red_recolor(f, colors);
+  EXPECT_EQ(colors[0], kRed);
+  colors = grow_red_mis(f, colors);
+  const RootedForest cut = cut_at_red_internals(f, colors);
+  EXPECT_EQ(cut.parent[0], 0u);
+}
+
+TEST(ForestColoring, StarForest) {
+  // One root with many children.
+  RootedForest f;
+  f.parent.assign(50, 0);
+  f.parent[0] = 0;
+  const std::vector<Color> colors = three_color(f, identity_ids(50), 6);
+  EXPECT_TRUE(is_proper_coloring(f, colors));
+  const auto recolored = grow_red_mis(f, root_red_recolor(f, colors));
+  EXPECT_EQ(recolored[0], kRed);
+  for (std::uint32_t v = 1; v < 50; ++v) EXPECT_NE(recolored[v], kRed);
+}
+
+TEST(ForestColoring, DropColorRequiresMonochromaticChildren) {
+  // Children with mixed colors must be rejected (shift_down not run).
+  RootedForest f;
+  f.parent = {0, 0, 0};
+  const std::vector<Color> colors = {3, 1, 2};
+  EXPECT_DEATH(drop_color(f, colors, Color{3}), "monochromatic");
+}
+
+TEST(ForestColoring, ValidateDetectsCycle) {
+  RootedForest f;
+  f.parent = {1, 0};
+  EXPECT_DEATH(f.validate(), "cycle");
+}
+
+TEST(ForestColoring, MaxDepth) {
+  EXPECT_EQ(max_depth(path_forest(5)), 4u);
+  RootedForest f;
+  f.parent = {0, 0, 1, 1, 3};
+  EXPECT_EQ(max_depth(f), 3u);
+}
+
+}  // namespace
+}  // namespace mmn

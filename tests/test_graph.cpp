@@ -1,0 +1,233 @@
+// Unit and property tests for src/graph: construction, generators, reference
+// algorithms, and forest validation.
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/dsu.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/validation.hpp"
+
+namespace mmn {
+namespace {
+
+Graph triangle() {
+  return Graph(3, {{0, 1, 10}, {1, 2, 20}, {0, 2, 30}});
+}
+
+TEST(Graph, BasicAccessors) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.edge(0).weight, 10u);
+  EXPECT_EQ(g.other_endpoint(0, 0), 1u);
+  EXPECT_EQ(g.other_endpoint(0, 1), 0u);
+}
+
+TEST(Graph, NeighborsSortedByWeight) {
+  const Graph g = triangle();
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_LT(nb[0].weight, nb[1].weight);
+  EXPECT_EQ(nb[0].to, 1u);
+  EXPECT_EQ(nb[1].to, 2u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(2, {{0, 0, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateWeight) {
+  EXPECT_THROW(Graph(3, {{0, 1, 5}, {1, 2, 5}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsParallelEdges) {
+  EXPECT_THROW(Graph(2, {{0, 1, 1}, {1, 0, 2}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(2, {{0, 2, 1}}), std::invalid_argument);
+}
+
+TEST(Dsu, UniteAndFind) {
+  Dsu d(5);
+  EXPECT_EQ(d.num_sets(), 5u);
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_FALSE(d.unite(1, 0));
+  EXPECT_TRUE(d.unite(2, 3));
+  EXPECT_TRUE(d.unite(0, 3));
+  EXPECT_EQ(d.num_sets(), 2u);
+  EXPECT_EQ(d.find(2), d.find(1));
+  EXPECT_NE(d.find(4), d.find(0));
+  EXPECT_EQ(d.set_size(3), 4u);
+}
+
+struct GenCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+  NodeId expect_n;
+  EdgeId expect_m;
+};
+
+Graph make_random(std::uint64_t s) { return random_connected(50, 60, s); }
+Graph make_tree(std::uint64_t s) { return random_tree(40, s); }
+Graph make_grid(std::uint64_t s) { return grid(6, 7, s); }
+Graph make_ring(std::uint64_t s) { return ring(20, s); }
+Graph make_path(std::uint64_t s) { return path(15, s); }
+Graph make_complete(std::uint64_t s) { return complete(9, s); }
+Graph make_hypercube(std::uint64_t s) { return hypercube(4, s); }
+Graph make_ray(std::uint64_t s) { return ray_graph(5, 6, s); }
+
+class GeneratorTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorTest, ProducesExpectedShape) {
+  const GenCase& c = GetParam();
+  const Graph g = c.make(123);
+  EXPECT_EQ(g.num_nodes(), c.expect_n);
+  EXPECT_EQ(g.num_edges(), c.expect_m);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(GeneratorTest, WeightsAreDistinctPermutation) {
+  const Graph g = GetParam().make(7);
+  std::set<Weight> weights;
+  for (const Edge& e : g.edges()) weights.insert(e.weight);
+  EXPECT_EQ(weights.size(), g.num_edges());
+  EXPECT_EQ(*weights.begin(), 1u);
+  EXPECT_EQ(*weights.rbegin(), g.num_edges());
+}
+
+TEST_P(GeneratorTest, DeterministicPerSeed) {
+  const Graph a = GetParam().make(99);
+  const Graph b = GetParam().make(99);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_EQ(a.edge(e).weight, b.edge(e).weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorTest,
+    ::testing::Values(GenCase{"random", make_random, 50, 109},
+                      GenCase{"tree", make_tree, 40, 39},
+                      GenCase{"grid", make_grid, 42, 71},
+                      GenCase{"ring", make_ring, 20, 20},
+                      GenCase{"path", make_path, 15, 14},
+                      GenCase{"complete", make_complete, 9, 36},
+                      GenCase{"hypercube", make_hypercube, 16, 32},
+                      GenCase{"ray", make_ray, 31, 30}),
+    [](const ::testing::TestParamInfo<GenCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(Generators, RayGraphDiameter) {
+  const Graph g = ray_graph(4, 8, 1);
+  EXPECT_EQ(diameter(g), 16u);  // 2 * ray_len, through the center
+}
+
+TEST(Generators, RingDiameter) {
+  EXPECT_EQ(diameter(ring(10, 1)), 5u);
+  EXPECT_EQ(diameter(ring(11, 1)), 5u);
+}
+
+TEST(Generators, PathDiameter) { EXPECT_EQ(diameter(path(12, 1)), 11u); }
+
+TEST(Generators, HypercubeDiameterIsDimension) {
+  EXPECT_EQ(diameter(hypercube(5, 1)), 5u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path(6, 1);
+  const auto d = bfs_distances(g, NodeId{0});
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, MultiSourceTakesMinimum) {
+  const Graph g = path(10, 1);
+  const auto d = bfs_distances(g, std::vector<NodeId>{0, 9});
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[9], 0u);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[5], 4u);
+}
+
+TEST(Mst, KruskalEqualsPrimOnManyGraphs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Graph g = random_connected(60, 90, seed);
+    const MstResult k = kruskal_mst(g);
+    const MstResult p = prim_mst(g);
+    EXPECT_EQ(k.edges, p.edges) << "seed=" << seed;
+    EXPECT_EQ(k.total_weight, p.total_weight);
+    EXPECT_EQ(k.edges.size(), g.num_nodes() - 1u);
+  }
+}
+
+TEST(Mst, TreeGraphMstIsAllEdges) {
+  const Graph g = random_tree(30, 5);
+  const MstResult k = kruskal_mst(g);
+  EXPECT_EQ(k.edges.size(), 29u);
+}
+
+TEST(Mst, ContainsQueries) {
+  const Graph g = triangle();
+  const MstResult k = kruskal_mst(g);
+  EXPECT_TRUE(mst_contains(k, 0));   // weight 10
+  EXPECT_TRUE(mst_contains(k, 1));   // weight 20
+  EXPECT_FALSE(mst_contains(k, 2));  // weight 30 closes the cycle
+}
+
+TEST(Validation, AnalyzeSingleTreeForest) {
+  const Graph g = path(5, 1);
+  Forest f;
+  f.parent = {0, 0, 1, 2, 3};
+  f.parent_edge = {kNoEdge, 0, 1, 2, 3};
+  const ForestStats stats = analyze_forest(g, f, "test");
+  EXPECT_EQ(stats.num_trees, 1u);
+  EXPECT_EQ(stats.min_size, 5u);
+  EXPECT_EQ(stats.max_radius, 4u);
+}
+
+TEST(Validation, AnalyzeMultiTreeForest) {
+  const Graph g = path(6, 1);
+  Forest f;
+  // Two trees: {0,1,2} rooted at 0 and {3,4,5} rooted at 4.
+  f.parent = {0, 0, 1, 4, 4, 4};
+  f.parent_edge = {kNoEdge, 0, 1, 3, kNoEdge, 4};
+  const ForestStats stats = analyze_forest(g, f, "test");
+  EXPECT_EQ(stats.num_trees, 2u);
+  EXPECT_EQ(stats.min_size, 3u);
+  EXPECT_EQ(stats.max_size, 3u);
+  EXPECT_EQ(stats.max_radius, 2u);
+}
+
+TEST(Validation, RootsAndRootOf) {
+  Forest f;
+  f.parent = {0, 0, 1, 3, 3};
+  f.parent_edge = {kNoEdge, 0, 1, kNoEdge, 3};
+  EXPECT_EQ(forest_roots(f), (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(forest_root_of(f, 2), 0u);
+  EXPECT_EQ(forest_root_of(f, 4), 3u);
+}
+
+TEST(Validation, ForestWithinMst) {
+  const Graph g = triangle();
+  const MstResult mst = kruskal_mst(g);
+  Forest good;
+  good.parent = {0, 0, 1};
+  good.parent_edge = {kNoEdge, 0, 1};
+  EXPECT_TRUE(forest_within_mst(good, mst));
+  Forest bad;
+  bad.parent = {0, 0, 0};
+  bad.parent_edge = {kNoEdge, 0, 2};  // edge 2 is not in the MST
+  EXPECT_FALSE(forest_within_mst(bad, mst));
+}
+
+}  // namespace
+}  // namespace mmn

@@ -1,0 +1,159 @@
+// Tests for MST construction (Section 6): the multimedia three-stage
+// algorithm and the pure point-to-point Boruvka baseline must both produce
+// exactly the unique MST (== Kruskal's edge set), and the multimedia version
+// must be asymptotically faster.
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/p2p_mst.hpp"
+#include "core/mst.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+namespace {
+
+template <typename Process>
+std::vector<EdgeId> collect_mst(const sim::Engine& engine) {
+  std::set<EdgeId> edges;
+  for (NodeId v = 0; v < engine.num_nodes(); ++v) {
+    for (EdgeId e :
+         static_cast<const Process&>(engine.process(v)).mst_edges()) {
+      edges.insert(e);
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+struct MstRun {
+  std::vector<EdgeId> edges;
+  Metrics metrics;
+  int phases = 0;
+};
+
+MstRun run_multimedia(const Graph& g, std::uint64_t seed = 7) {
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<MstProcess>(v);
+  }, seed);
+  MstRun r;
+  r.metrics = engine.run(8'000'000);
+  r.edges = collect_mst<MstProcess>(engine);
+  r.phases = static_cast<const MstProcess&>(engine.process(0)).phases_used();
+  return r;
+}
+
+MstRun run_baseline(const Graph& g, std::uint64_t seed = 7) {
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<P2pMstProcess>(v);
+  }, seed);
+  MstRun r;
+  r.metrics = engine.run(64'000'000);
+  r.edges = collect_mst<P2pMstProcess>(engine);
+  return r;
+}
+
+struct TopoCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+Graph m_path(std::uint64_t s) { return path(19, s); }
+Graph m_ring(std::uint64_t s) { return ring(32, s); }
+Graph m_grid(std::uint64_t s) { return grid(7, 6, s); }
+Graph m_tree(std::uint64_t s) { return random_tree(50, s); }
+Graph m_sparse(std::uint64_t s) { return random_connected(80, 70, s); }
+Graph m_dense(std::uint64_t s) { return random_connected(40, 350, s); }
+Graph m_complete(std::uint64_t s) { return complete(16, s); }
+Graph m_ray(std::uint64_t s) { return ray_graph(5, 8, s); }
+Graph m_big(std::uint64_t s) { return random_connected(250, 500, s); }
+
+class MstTest : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(MstTest, MultimediaMatchesKruskalExactly) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = GetParam().make(seed);
+    const MstRun run = run_multimedia(g);
+    EXPECT_EQ(run.edges, kruskal_mst(g).edges) << "seed " << seed;
+  }
+}
+
+TEST_P(MstTest, BaselineMatchesKruskalExactly) {
+  const Graph g = GetParam().make(4);
+  const MstRun run = run_baseline(g);
+  EXPECT_EQ(run.edges, kruskal_mst(g).edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MstTest,
+    ::testing::Values(TopoCase{"path19", m_path}, TopoCase{"ring32", m_ring},
+                      TopoCase{"grid7x6", m_grid}, TopoCase{"tree50", m_tree},
+                      TopoCase{"sparse80", m_sparse},
+                      TopoCase{"dense40", m_dense},
+                      TopoCase{"complete16", m_complete},
+                      TopoCase{"ray5x8", m_ray}, TopoCase{"big250", m_big}),
+    [](const ::testing::TestParamInfo<TopoCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(Mst, SingleNode) {
+  const Graph g(1, {});
+  const MstRun run = run_multimedia(g);
+  EXPECT_TRUE(run.edges.empty());
+}
+
+TEST(Mst, TwoNodes) {
+  const Graph g = path(2, 1);
+  const MstRun run = run_multimedia(g);
+  EXPECT_EQ(run.edges, std::vector<EdgeId>{0});
+}
+
+TEST(Mst, TreeInputNeedsNoBoruvkaPhase) {
+  // On a tree the partition itself can already span everything; phases_used
+  // reports how many TDMA cycles ran.
+  const Graph g = random_tree(64, 2);
+  const MstRun run = run_multimedia(g);
+  EXPECT_EQ(run.edges, kruskal_mst(g).edges);
+  EXPECT_LE(run.phases, ilog2_ceil(64));
+}
+
+TEST(Mst, PhaseCountIsLogarithmic) {
+  const Graph g = random_connected(300, 900, 5);
+  const MstRun run = run_multimedia(g);
+  // At most log2 of the initial fragment count (<= sqrt(n)) phases.
+  EXPECT_LE(run.phases, ilog2_ceil(isqrt(300)) + 1);
+}
+
+TEST(Mst, DeterministicAcrossRuns) {
+  const Graph g = random_connected(100, 200, 9);
+  const MstRun a = run_multimedia(g, 3);
+  const MstRun b = run_multimedia(g, 3);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+TEST(Mst, IndependentOfEngineSeed) {
+  // Partition, Capetanakis and the TDMA phases are all deterministic, so the
+  // engine seed must not influence the execution at all.
+  const Graph g = random_connected(100, 200, 9);
+  const MstRun a = run_multimedia(g, 3);
+  const MstRun b = run_multimedia(g, 4242);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.p2p_messages, b.metrics.p2p_messages);
+}
+
+TEST(Mst, MultimediaBeatsP2pBaseline) {
+  // Theta(sqrt(n) log n) vs Theta(n log n).
+  const Graph g = random_connected(256, 512, 6);
+  const MstRun mm = run_multimedia(g);
+  const MstRun p2p = run_baseline(g);
+  EXPECT_EQ(mm.edges, p2p.edges);
+  EXPECT_LT(mm.metrics.rounds, p2p.metrics.rounds / 2);
+}
+
+}  // namespace
+}  // namespace mmn

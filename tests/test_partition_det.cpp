@@ -1,0 +1,187 @@
+// Tests for the deterministic partitioning algorithm (Section 3).
+//
+// The paper's guarantees, asserted over a topology sweep:
+//   * the result is a spanning forest of rooted fragments,
+//   * every fragment edge belongs to the unique MST,
+//   * after running k phases every fragment has size >= 2^k (Claim 1)
+//     and radius <= 2^{k+3} - 1 (Claim 2),
+//   * with the default phase count: size >= sqrt(n) and #fragments <= sqrt(n),
+//   * runs are deterministic.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/partition_det.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+namespace {
+
+struct RunResult {
+  Forest forest;
+  std::vector<NodeId> fragment;
+  ForestStats stats;
+  Metrics metrics;
+};
+
+RunResult run_partition(const Graph& g, int phases = -1,
+                        std::uint64_t seed = 7) {
+  sim::Engine engine(g, [phases](const sim::LocalView& v) {
+    return std::make_unique<PartitionDetProcess>(v,
+                                                 PartitionDetConfig{phases});
+  }, seed);
+  RunResult r;
+  r.metrics = engine.run(4'000'000);
+  const FragmentAccessor acc = direct_fragment_accessor();
+  r.forest = collect_forest(engine, acc);
+  r.fragment = collect_fragments(engine, acc);
+  r.stats = analyze_forest(g, r.forest, "partition_det");
+  return r;
+}
+
+void check_fragment_ids(const RunResult& r) {
+  for (NodeId v = 0; v < r.forest.parent.size(); ++v) {
+    EXPECT_EQ(r.fragment[v], forest_root_of(r.forest, v)) << "node " << v;
+  }
+}
+
+struct TopoCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+Graph t_path17(std::uint64_t s) { return path(17, s); }
+Graph t_ring24(std::uint64_t s) { return ring(24, s); }
+Graph t_grid(std::uint64_t s) { return grid(6, 8, s); }
+Graph t_tree(std::uint64_t s) { return random_tree(60, s); }
+Graph t_sparse(std::uint64_t s) { return random_connected(64, 30, s); }
+Graph t_dense(std::uint64_t s) { return random_connected(48, 500, s); }
+Graph t_complete(std::uint64_t s) { return complete(20, s); }
+Graph t_hyper(std::uint64_t s) { return hypercube(6, s); }
+Graph t_ray(std::uint64_t s) { return ray_graph(6, 10, s); }
+Graph t_big(std::uint64_t s) { return random_connected(300, 600, s); }
+
+class PartitionDetTest : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(PartitionDetTest, ProducesMstSubforestWithPaperBounds) {
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    const Graph g = GetParam().make(seed);
+    const NodeId n = g.num_nodes();
+    const RunResult r = run_partition(g);
+    check_fragment_ids(r);
+
+    const MstResult mst = kruskal_mst(g);
+    EXPECT_TRUE(forest_within_mst(r.forest, mst)) << "seed " << seed;
+
+    const int L = partition_phases(n);
+    const std::uint64_t min_size = std::uint64_t{1} << L;
+    EXPECT_GE(r.stats.min_size, min_size) << "Claim 1, seed " << seed;
+    EXPECT_GE(min_size * min_size, static_cast<std::uint64_t>(n));
+    EXPECT_LE(r.stats.num_trees, n / min_size) << "seed " << seed;
+    EXPECT_LE(r.stats.num_trees, isqrt(n)) << "seed " << seed;
+    if (L >= 1) {
+      EXPECT_LE(r.stats.max_radius, (std::uint32_t{1} << (L + 3)) - 1)
+          << "Claim 2, seed " << seed;
+    }
+  }
+}
+
+TEST_P(PartitionDetTest, ClaimsHoldAfterEveryPhasePrefix) {
+  const Graph g = GetParam().make(3);
+  const NodeId n = g.num_nodes();
+  const MstResult mst = kruskal_mst(g);
+  for (int k = 0; k <= partition_phases(n); ++k) {
+    const RunResult r = run_partition(g, k);
+    EXPECT_TRUE(forest_within_mst(r.forest, mst)) << "phases " << k;
+    EXPECT_GE(r.stats.min_size, std::uint64_t{1} << k) << "phases " << k;
+    if (k >= 1) {
+      EXPECT_LE(r.stats.max_radius, (std::uint32_t{1} << (k + 3)) - 1)
+          << "phases " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, PartitionDetTest,
+    ::testing::Values(TopoCase{"path17", t_path17}, TopoCase{"ring24", t_ring24},
+                      TopoCase{"grid6x8", t_grid}, TopoCase{"tree60", t_tree},
+                      TopoCase{"sparse64", t_sparse},
+                      TopoCase{"dense48", t_dense},
+                      TopoCase{"complete20", t_complete},
+                      TopoCase{"hypercube6", t_hyper}, TopoCase{"ray6x10", t_ray},
+                      TopoCase{"big300", t_big}),
+    [](const ::testing::TestParamInfo<TopoCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(PartitionDet, SingleNodeFinishesImmediately) {
+  const Graph g(1, {});
+  const RunResult r = run_partition(g);
+  EXPECT_EQ(r.stats.num_trees, 1u);
+  EXPECT_EQ(r.forest.parent[0], 0u);
+}
+
+TEST(PartitionDet, TwoNodes) {
+  const Graph g = path(2, 1);
+  const RunResult r = run_partition(g);
+  EXPECT_EQ(r.stats.num_trees, 1u);
+  EXPECT_EQ(r.stats.min_size, 2u);
+}
+
+TEST(PartitionDet, DeterministicAcrossRuns) {
+  const Graph g = random_connected(80, 120, 11);
+  const RunResult a = run_partition(g, -1, 5);
+  const RunResult b = run_partition(g, -1, 5);
+  EXPECT_EQ(a.forest.parent, b.forest.parent);
+  EXPECT_EQ(a.forest.parent_edge, b.forest.parent_edge);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.p2p_messages, b.metrics.p2p_messages);
+}
+
+TEST(PartitionDet, IndependentOfEngineSeed) {
+  // The algorithm is fully deterministic: it never draws randomness, so even
+  // *different* engine seeds must produce the identical execution.
+  const Graph g = random_connected(80, 120, 11);
+  const RunResult a = run_partition(g, -1, 5);
+  const RunResult b = run_partition(g, -1, 999);
+  EXPECT_EQ(a.forest.parent, b.forest.parent);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.p2p_messages, b.metrics.p2p_messages);
+}
+
+TEST(PartitionDet, ZeroPhasesLeavesSingletons) {
+  const Graph g = ring(10, 1);
+  const RunResult r = run_partition(g, 0);
+  EXPECT_EQ(r.stats.num_trees, 10u);
+  EXPECT_EQ(r.stats.max_radius, 0u);
+}
+
+TEST(PartitionDet, RejectsTooManyPhases) {
+  const Graph g = ring(16, 1);
+  EXPECT_THROW(
+      sim::Engine(g,
+                  [](const sim::LocalView& v) {
+                    return std::make_unique<PartitionDetProcess>(
+                        v, PartitionDetConfig{10});
+                  },
+                  1),
+      std::invalid_argument);
+}
+
+TEST(PartitionDet, TimeScalesAsSqrtN) {
+  // Loose envelope: rounds <= c * sqrt(n) * log*(n) with a generous c.
+  // This catches accidental Theta(n) behavior without pinning constants.
+  const Graph g = random_connected(400, 800, 2);
+  const RunResult r = run_partition(g);
+  const double bound = 600.0 * static_cast<double>(isqrt(400) + 1) *
+                       (log_star(400) + 1);
+  EXPECT_LE(static_cast<double>(r.metrics.rounds), bound);
+}
+
+}  // namespace
+}  // namespace mmn

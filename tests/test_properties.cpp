@@ -1,0 +1,237 @@
+// Property tests: the paper's invariants over adversarial topologies and a
+// randomized configuration sweep, plus complexity-envelope checks that catch
+// accidental asymptotic regressions.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/global_function.hpp"
+#include "core/partition.hpp"
+#include "core/partition_det.hpp"
+#include "core/partition_rand.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+namespace {
+
+// --- adversarial topologies ---------------------------------------------------
+
+/// Star: one hub, n-1 spokes (max degree, diameter 2).
+Graph star(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) {
+    edges.push_back({0, v, 0});
+  }
+  std::vector<Weight> w(edges.size());
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = i + 1;
+  for (std::size_t i = w.size(); i > 1; --i) std::swap(w[i - 1], w[rng.next_below(i)]);
+  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].weight = w[i];
+  return Graph(n, std::move(edges));
+}
+
+/// Barbell: two cliques of k nodes joined by a single bridge edge.
+Graph barbell(NodeId k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  auto add_clique = [&](NodeId base) {
+    for (NodeId u = 0; u < k; ++u) {
+      for (NodeId v = u + 1; v < k; ++v) {
+        edges.push_back({base + u, base + v, 0});
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(k);
+  edges.push_back({static_cast<NodeId>(k - 1), k, 0});
+  std::vector<Weight> w(edges.size());
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = i + 1;
+  for (std::size_t i = w.size(); i > 1; --i) std::swap(w[i - 1], w[rng.next_below(i)]);
+  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].weight = w[i];
+  return Graph(2 * k, std::move(edges));
+}
+
+/// Caterpillar: a spine path with one leaf hanging off every spine node.
+Graph caterpillar(NodeId spine, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < spine; ++v) {
+    edges.push_back({v, static_cast<NodeId>(v + 1), 0});
+  }
+  for (NodeId v = 0; v < spine; ++v) {
+    edges.push_back({v, static_cast<NodeId>(spine + v), 0});
+  }
+  std::vector<Weight> w(edges.size());
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = i + 1;
+  for (std::size_t i = w.size(); i > 1; --i) std::swap(w[i - 1], w[rng.next_below(i)]);
+  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].weight = w[i];
+  return Graph(2 * spine, std::move(edges));
+}
+
+struct AdversarialCase {
+  const char* name;
+  Graph (*make)(std::uint64_t);
+};
+
+Graph a_star(std::uint64_t s) { return star(120, s); }
+Graph a_barbell(std::uint64_t s) { return barbell(24, s); }
+Graph a_caterpillar(std::uint64_t s) { return caterpillar(40, s); }
+Graph a_binary_tree(std::uint64_t s) {
+  // Complete binary tree via parent links v -> (v-1)/2.
+  Rng rng(s);
+  const NodeId n = 127;
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({(v - 1) / 2, v, 0});
+  std::vector<Weight> w(edges.size());
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = i + 1;
+  for (std::size_t i = w.size(); i > 1; --i) std::swap(w[i - 1], w[rng.next_below(i)]);
+  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].weight = w[i];
+  return Graph(n, std::move(edges));
+}
+
+class AdversarialTopologyTest
+    : public ::testing::TestWithParam<AdversarialCase> {};
+
+TEST_P(AdversarialTopologyTest, DeterministicPartitionInvariants) {
+  const Graph g = GetParam().make(5);
+  const NodeId n = g.num_nodes();
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
+  }, 3);
+  engine.run(8'000'000);
+  const auto acc = direct_fragment_accessor();
+  const Forest forest = collect_forest(engine, acc);
+  const ForestStats stats = analyze_forest(g, forest, "adversarial det");
+  EXPECT_TRUE(forest_within_mst(forest, kruskal_mst(g)));
+  const int L = partition_phases(n);
+  EXPECT_GE(stats.min_size, std::uint64_t{1} << L);
+  EXPECT_LE(stats.max_radius, (std::uint32_t{1} << (L + 3)) - 1);
+}
+
+TEST_P(AdversarialTopologyTest, RandomizedPartitionInvariants) {
+  const Graph g = GetParam().make(7);
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<PartitionRandProcess>(v, PartitionRandConfig{});
+  }, 9);
+  engine.run(8'000'000);
+  const auto acc = direct_fragment_accessor();
+  const ForestStats stats =
+      analyze_forest(g, collect_forest(engine, acc), "adversarial rand");
+  EXPECT_LE(stats.max_radius, 4 * isqrt_ceil(g.num_nodes()));
+}
+
+TEST_P(AdversarialTopologyTest, GlobalXorCorrect) {
+  const Graph g = GetParam().make(11);
+  const NodeId n = g.num_nodes();
+  Rng rng(13);
+  std::vector<sim::Word> inputs(n);
+  sim::Word expected = 0;
+  for (auto& x : inputs) {
+    x = static_cast<sim::Word>(rng.next_below(1 << 30));
+    expected ^= x;
+  }
+  GlobalFunctionConfig config;
+  config.op = SemigroupOp::kXor;
+  config.variant = GlobalFunctionConfig::Variant::kDeterministic;
+  sim::Engine engine(g, [&](const sim::LocalView& v) {
+    return std::make_unique<GlobalFunctionProcess>(v, config, inputs[v.self]);
+  }, 15);
+  engine.run(8'000'000);
+  EXPECT_EQ(
+      static_cast<const GlobalFunctionProcess&>(engine.process(0)).result(),
+      expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdversarialTopologyTest,
+    ::testing::Values(AdversarialCase{"star120", a_star},
+                      AdversarialCase{"barbell48", a_barbell},
+                      AdversarialCase{"caterpillar80", a_caterpillar},
+                      AdversarialCase{"binarytree127", a_binary_tree}),
+    [](const ::testing::TestParamInfo<AdversarialCase>& param_info) {
+      return param_info.param.name;
+    });
+
+// --- randomized configuration sweep -------------------------------------------
+
+TEST(PropertySweep, DetPartitionInvariantsOverRandomConfigs) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = 4 + static_cast<NodeId>(rng.next_below(252));
+    const std::uint64_t max_extra =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2 - (n - 1);
+    const auto extra = static_cast<std::uint32_t>(
+        rng.next_below(std::min<std::uint64_t>(max_extra + 1, 4ull * n)));
+    const Graph g = random_connected(n, extra, rng.next_u64());
+    SCOPED_TRACE(testing::Message() << "trial " << trial << " n=" << n);
+
+    sim::Engine engine(g, [](const sim::LocalView& v) {
+      return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
+    }, rng.next_u64());
+    engine.run(8'000'000);
+    const auto acc = direct_fragment_accessor();
+    const Forest forest = collect_forest(engine, acc);
+    const ForestStats stats = analyze_forest(g, forest, "sweep det");
+    ASSERT_TRUE(forest_within_mst(forest, kruskal_mst(g)));
+    const int L = partition_phases(n);
+    ASSERT_GE(stats.min_size, std::uint64_t{1} << L);
+    ASSERT_LE(stats.num_trees, isqrt(n));
+    ASSERT_LE(stats.max_radius, (std::uint32_t{1} << (L + 3)) - 1);
+  }
+}
+
+// --- complexity envelopes -------------------------------------------------------
+
+TEST(ComplexityEnvelope, DetPartitionTimeGrowsSublinearly) {
+  // time(4n) / time(n) must stay well below 4 (it should be ~2 for sqrt).
+  auto measure = [](NodeId n) {
+    const Graph g = random_connected(n, 2 * n, 17);
+    sim::Engine engine(g, [](const sim::LocalView& v) {
+      return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
+    }, 3);
+    return static_cast<double>(engine.run(80'000'000).rounds);
+  };
+  const double t1 = measure(512);
+  const double t4 = measure(2048);
+  EXPECT_LT(t4 / t1, 3.0) << "t(512)=" << t1 << " t(2048)=" << t4;
+}
+
+TEST(ComplexityEnvelope, DetPartitionMessagesNearLinear) {
+  // msgs / (m + n log n log* n) must not grow with n.
+  auto ratio = [](NodeId n) {
+    const Graph g = random_connected(n, 2 * n, 19);
+    sim::Engine engine(g, [](const sim::LocalView& v) {
+      return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
+    }, 3);
+    const Metrics m = engine.run(80'000'000);
+    const double bound = static_cast<double>(g.num_edges()) +
+                         static_cast<double>(n) * ilog2_ceil(n) *
+                             std::max(1, log_star(n));
+    return static_cast<double>(m.p2p_messages) / bound;
+  };
+  const double r_small = ratio(256);
+  const double r_large = ratio(2048);
+  EXPECT_LT(r_large, r_small * 2.0);
+  EXPECT_LT(r_large, 5.0);
+}
+
+TEST(ComplexityEnvelope, RandPartitionMessagesNearLinearInEdges) {
+  auto ratio = [](NodeId n) {
+    const Graph g = random_connected(n, 4 * n, 23);
+    sim::Engine engine(g, [](const sim::LocalView& v) {
+      return std::make_unique<PartitionRandProcess>(v, PartitionRandConfig{});
+    }, 3);
+    const Metrics m = engine.run(80'000'000);
+    const double bound = static_cast<double>(g.num_edges()) +
+                         static_cast<double>(n) * std::max(1, log_star(n));
+    return static_cast<double>(m.p2p_messages) / bound;
+  };
+  EXPECT_LT(ratio(2048), 6.0);
+}
+
+}  // namespace
+}  // namespace mmn

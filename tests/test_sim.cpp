@@ -1,0 +1,388 @@
+// Tests for the simulation kernel: packet bounds, channel slot resolution,
+// synchronous engine delivery semantics, and the asynchronous engine.
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace mmn::sim {
+namespace {
+
+TEST(Packet, HoldsWordsUpToLimit) {
+  Packet p(7, {1, 2, 3});
+  EXPECT_EQ(p.type(), 7);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[2], 3);
+  for (std::size_t i = p.size(); i < Packet::kMaxWords; ++i) p.push(0);
+  EXPECT_THROW(p.push(1), std::invalid_argument);
+}
+
+TEST(Packet, IndexOutOfRangeThrows) {
+  const Packet p(1, {5});
+  EXPECT_THROW(p[1], std::invalid_argument);
+}
+
+TEST(Packet, Equality) {
+  EXPECT_EQ(Packet(1, {2, 3}), Packet(1, {2, 3}));
+  EXPECT_FALSE(Packet(1, {2, 3}) == Packet(1, {2}));
+  EXPECT_FALSE(Packet(1, {2, 3}) == Packet(2, {2, 3}));
+}
+
+TEST(Channel, SlotResolution) {
+  Channel ch;
+  Metrics m;
+  // Zero writers -> idle.
+  EXPECT_TRUE(ch.resolve(m).idle());
+  // One writer -> success with payload.
+  ch.write(3, Packet(9, {42}));
+  const SlotObservation succ = ch.resolve(m);
+  EXPECT_TRUE(succ.success());
+  EXPECT_EQ(succ.writer, 3u);
+  EXPECT_EQ(succ.payload[0], 42);
+  // Two writers -> collision; payload not exposed.
+  ch.write(1, Packet(9, {1}));
+  ch.write(2, Packet(9, {2}));
+  EXPECT_TRUE(ch.resolve(m).collision());
+  EXPECT_EQ(m.slots_idle, 1u);
+  EXPECT_EQ(m.slots_success, 1u);
+  EXPECT_EQ(m.slots_collision, 1u);
+}
+
+TEST(Channel, ResetsBetweenSlots) {
+  Channel ch;
+  Metrics m;
+  ch.write(0, Packet(1, {7}));
+  ch.resolve(m);
+  EXPECT_TRUE(ch.resolve(m).idle());  // previous write must not leak
+}
+
+// --- toy processes -------------------------------------------------------
+
+constexpr std::uint16_t kPing = 1;
+
+/// Node 0 sends a ping on its first link in round 0; everyone records inbox.
+class PingProcess final : public Process {
+ public:
+  explicit PingProcess(const LocalView& view) : view_(view) {}
+
+  void round(NodeContext& ctx) override {
+    if (ctx.round() == 0 && view_.self == 0) {
+      ctx.send(view_.links[0].edge, Packet(kPing, {123}));
+      EXPECT_TRUE(ctx.sent_message());
+    }
+    for (const Received& r : ctx.inbox()) {
+      received_.push_back(r);
+      received_round_ = ctx.round();
+    }
+    done_ = ctx.round() >= 2;
+  }
+
+  bool finished() const override { return done_; }
+
+  const LocalView& view_;
+  std::vector<Received> received_;
+  std::uint64_t received_round_ = 0;
+  bool done_ = false;
+};
+
+TEST(Engine, DeliversMessagesNextRound) {
+  const Graph g = path(3, 1);
+  Engine engine(g, [](const LocalView& v) {
+    return std::make_unique<PingProcess>(v);
+  }, 7);
+  engine.run(10);
+  const auto& p1 = static_cast<const PingProcess&>(engine.process(1));
+  ASSERT_EQ(p1.received_.size(), 1u);
+  EXPECT_EQ(p1.received_[0].from, 0u);
+  EXPECT_EQ(p1.received_[0].packet.type(), kPing);
+  EXPECT_EQ(p1.received_[0].packet[0], 123);
+  EXPECT_EQ(p1.received_round_, 1u);  // sent in round 0, delivered in round 1
+  const auto& p2 = static_cast<const PingProcess&>(engine.process(2));
+  EXPECT_TRUE(p2.received_.empty());
+}
+
+/// Every node writes to the channel in round 0; checks collision observed by
+/// all in round 1.  In round 2 only node 0 writes; success observed round 3.
+class ChannelProbeProcess final : public Process {
+ public:
+  explicit ChannelProbeProcess(const LocalView& view) : view_(view) {}
+
+  void round(NodeContext& ctx) override {
+    switch (ctx.round()) {
+      case 0:
+        ctx.channel_write(Packet(2, {static_cast<Word>(view_.self)}));
+        break;
+      case 1:
+        saw_collision_ = ctx.slot().collision();
+        break;
+      case 2:
+        if (view_.self == 0) ctx.channel_write(Packet(3, {99}));
+        break;
+      case 3:
+        saw_success_ = ctx.slot().success() && ctx.slot().payload[0] == 99 &&
+                       ctx.slot().writer == 0;
+        done_ = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool finished() const override { return done_; }
+
+  const LocalView& view_;
+  bool saw_collision_ = false;
+  bool saw_success_ = false;
+  bool done_ = false;
+};
+
+TEST(Engine, ChannelObservedByAllNodes) {
+  const Graph g = ring(5, 1);
+  Engine engine(g, [](const LocalView& v) {
+    return std::make_unique<ChannelProbeProcess>(v);
+  }, 7);
+  engine.run(10);
+  for (NodeId v = 0; v < 5; ++v) {
+    const auto& p = static_cast<const ChannelProbeProcess&>(engine.process(v));
+    EXPECT_TRUE(p.saw_collision_) << v;
+    EXPECT_TRUE(p.saw_success_) << v;
+  }
+  EXPECT_GE(engine.metrics().slots_collision, 1u);
+  EXPECT_GE(engine.metrics().slots_success, 1u);
+}
+
+/// Writes twice per round to verify the one-write-per-slot precondition.
+class DoubleWriteProcess final : public Process {
+ public:
+  explicit DoubleWriteProcess(const LocalView&) {}
+  void round(NodeContext& ctx) override {
+    ctx.channel_write(Packet(1));
+    EXPECT_THROW(ctx.channel_write(Packet(1)), std::invalid_argument);
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+  bool done_ = false;
+};
+
+TEST(Engine, RejectsSecondChannelWriteInSlot) {
+  const Graph g = path(2, 1);
+  Engine engine(g, [](const LocalView& v) {
+    return std::make_unique<DoubleWriteProcess>(v);
+  }, 7);
+  engine.run(5);
+}
+
+/// Sends over a non-incident edge to verify the precondition check.
+class BadSendProcess final : public Process {
+ public:
+  explicit BadSendProcess(const LocalView& view) : view_(view) {}
+  void round(NodeContext& ctx) override {
+    if (view_.self == 0) {
+      // Edge 1 joins nodes 1 and 2 in a path of 3 — not incident to node 0.
+      EXPECT_THROW(ctx.send(EdgeId{1}, Packet(1)), std::invalid_argument);
+    }
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+  const LocalView& view_;
+  bool done_ = false;
+};
+
+TEST(Engine, RejectsSendOverNonIncidentLink) {
+  const Graph g = path(3, 1);
+  Engine engine(g, [](const LocalView& v) {
+    return std::make_unique<BadSendProcess>(v);
+  }, 7);
+  engine.run(5);
+}
+
+TEST(Engine, EveryRoundResolvesExactlyOneSlot) {
+  // Global accounting invariant: rounds == idle + success + collision slots.
+  const Graph g = ring(7, 1);
+  sim::Engine engine(g, [](const LocalView& v) {
+    return std::make_unique<ChannelProbeProcess>(v);
+  }, 7);
+  const Metrics m = engine.run(100);
+  EXPECT_EQ(m.rounds, m.slots_idle + m.slots_success + m.slots_collision);
+}
+
+TEST(Engine, MetricsCountRoundsAndMessages) {
+  const Graph g = path(3, 1);
+  Engine engine(g, [](const LocalView& v) {
+    return std::make_unique<PingProcess>(v);
+  }, 7);
+  const Metrics m = engine.run(10);
+  EXPECT_EQ(m.p2p_messages, 1u);
+  EXPECT_EQ(m.rounds, 3u);  // rounds 0..2, all processes done by round 2
+  EXPECT_EQ(m.slots_idle, 3u);
+}
+
+TEST(Engine, AbortsWhenProtocolHangs) {
+  class NeverDone final : public Process {
+   public:
+    void round(NodeContext&) override {}
+    bool finished() const override { return false; }
+  };
+  const Graph g = path(2, 1);
+  Engine engine(g, [](const LocalView&) { return std::make_unique<NeverDone>(); }, 7);
+  EXPECT_DEATH(engine.run(5), "did not terminate");
+}
+
+TEST(Engine, LocalViewExposesWeightSortedLinks) {
+  const Graph g = random_connected(20, 30, 3);
+  Engine engine(g, [&g](const LocalView& v) {
+    EXPECT_EQ(v.n, 20u);
+    for (std::size_t i = 1; i < v.links.size(); ++i) {
+      EXPECT_LT(v.links[i - 1].weight, v.links[i].weight);
+    }
+    EXPECT_EQ(v.links.size(), g.degree(v.self));
+    return std::make_unique<PingProcess>(v);
+  }, 7);
+  engine.run(10);
+}
+
+TEST(Engine, RngStreamsAreDeterministicAcrossRuns) {
+  class RngProbe final : public Process {
+   public:
+    void round(NodeContext& ctx) override {
+      value_ = ctx.rng().next_u64();
+      done_ = true;
+    }
+    bool finished() const override { return done_; }
+    std::uint64_t value_ = 0;
+    bool done_ = false;
+  };
+  const Graph g = path(4, 1);
+  auto factory = [](const LocalView&) { return std::make_unique<RngProbe>(); };
+  Engine a(g, factory, 99);
+  Engine b(g, factory, 99);
+  a.run(5);
+  b.run(5);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(static_cast<const RngProbe&>(a.process(v)).value_,
+              static_cast<const RngProbe&>(b.process(v)).value_);
+  }
+  // A different node must see a different stream.
+  EXPECT_NE(static_cast<const RngProbe&>(a.process(0)).value_,
+            static_cast<const RngProbe&>(a.process(1)).value_);
+}
+
+// --- async engine --------------------------------------------------------
+
+constexpr std::uint16_t kAsyncPing = 11;
+
+/// Node 0 pings its first neighbor at start; the neighbor echoes back.
+class AsyncEcho final : public AsyncProcess {
+ public:
+  explicit AsyncEcho(const LocalView& view) : view_(view) {}
+
+  void start(AsyncContext& ctx) override {
+    if (view_.self == 0) {
+      ctx.send(view_.links[0].edge, Packet(kAsyncPing, {1}));
+    }
+  }
+
+  void on_message(const Received& msg, AsyncContext& ctx) override {
+    if (msg.packet[0] == 1) {
+      ctx.send(msg.via, Packet(kAsyncPing, {2}));
+    } else {
+      got_echo_ = true;
+    }
+  }
+
+  void on_slot(const SlotObservation&, AsyncContext&) override {
+    ++slots_seen_;
+  }
+
+  bool finished() const override {
+    return view_.self != 0 || got_echo_;
+  }
+
+  const LocalView& view_;
+  bool got_echo_ = false;
+  int slots_seen_ = 0;
+};
+
+TEST(AsyncEngine, DeliversWithBoundedDelayAndEchoes) {
+  const Graph g = path(2, 1);
+  for (std::uint32_t delay : {1u, 3u, 8u}) {
+    AsyncEngine engine(g, [](const LocalView& v) {
+      return std::make_unique<AsyncEcho>(v);
+    }, 17, delay);
+    const Metrics m = engine.run(1000);
+    EXPECT_EQ(m.p2p_messages, 2u);
+    // Round trip of two messages, each of delay <= `delay` slots.
+    EXPECT_LE(m.rounds, 2u * delay + 2u);
+  }
+}
+
+TEST(AsyncEngine, SlotBoundariesReachEveryNode) {
+  const Graph g = path(3, 1);
+  AsyncEngine engine(g, [](const LocalView& v) {
+    return std::make_unique<AsyncEcho>(v);
+  }, 17, 2);
+  engine.run(1000);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_GE(static_cast<AsyncEcho&>(engine.process(v)).slots_seen_, 1);
+  }
+}
+
+/// All nodes write the channel in the first slot: collision observed by all.
+class AsyncCollider final : public AsyncProcess {
+ public:
+  explicit AsyncCollider(const LocalView& view) : view_(view) {}
+  void start(AsyncContext& ctx) override {
+    ctx.channel_write(Packet(1, {static_cast<Word>(view_.self)}));
+  }
+  void on_message(const Received&, AsyncContext&) override {}
+  void on_slot(const SlotObservation& obs, AsyncContext& ctx) override {
+    if (first_) {
+      saw_collision_ = obs.collision();
+      first_ = false;
+      if (view_.self == 0) ctx.channel_write(Packet(2, {7}));
+    } else if (!done_) {
+      saw_success_ = obs.success() && obs.payload[0] == 7;
+      done_ = true;
+    }
+  }
+  bool finished() const override { return done_; }
+  const LocalView& view_;
+  bool first_ = true;
+  bool saw_collision_ = false;
+  bool saw_success_ = false;
+  bool done_ = false;
+};
+
+TEST(AsyncEngine, ChannelCollisionAndSuccess) {
+  const Graph g = ring(4, 1);
+  AsyncEngine engine(g, [](const LocalView& v) {
+    return std::make_unique<AsyncCollider>(v);
+  }, 23, 1);
+  engine.run(100);
+  for (NodeId v = 0; v < 4; ++v) {
+    const auto& p = static_cast<const AsyncCollider&>(engine.process(v));
+    EXPECT_TRUE(p.saw_collision_) << v;
+    EXPECT_TRUE(p.saw_success_) << v;
+  }
+}
+
+TEST(AsyncEngine, DeterministicPerSeed) {
+  const Graph g = random_connected(10, 12, 4);
+  auto run_once = [&](std::uint64_t seed) {
+    AsyncEngine engine(g, [](const LocalView& v) {
+      return std::make_unique<AsyncEcho>(v);
+    }, seed, 4);
+    return engine.run(1000).rounds;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+}  // namespace
+}  // namespace mmn::sim

@@ -1,0 +1,97 @@
+// Tests for Section 7.3/7.4: deterministic network-size computation and the
+// Greenberg–Ladner randomized estimate.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/size.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+
+namespace mmn {
+namespace {
+
+std::uint64_t run_deterministic(const Graph& g, Metrics* metrics = nullptr) {
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<DeterministicSizeProcess>(v);
+  }, 7);
+  const Metrics m = engine.run(8'000'000);
+  if (metrics != nullptr) *metrics = m;
+  const auto size =
+      static_cast<const DeterministicSizeProcess&>(engine.process(0))
+          .network_size();
+  // Every node computes the identical value.
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(static_cast<const DeterministicSizeProcess&>(engine.process(v))
+                  .network_size(),
+              size);
+  }
+  return size;
+}
+
+TEST(DeterministicSize, ExactOnVariousTopologies) {
+  EXPECT_EQ(run_deterministic(Graph(1, {})), 1u);
+  EXPECT_EQ(run_deterministic(path(2, 1)), 2u);
+  EXPECT_EQ(run_deterministic(path(23, 1)), 23u);
+  EXPECT_EQ(run_deterministic(ring(64, 2)), 64u);
+  EXPECT_EQ(run_deterministic(grid(9, 7, 3)), 63u);
+  EXPECT_EQ(run_deterministic(random_tree(77, 4)), 77u);
+  EXPECT_EQ(run_deterministic(complete(17, 5)), 17u);
+  EXPECT_EQ(run_deterministic(ray_graph(6, 9, 6)), 55u);
+}
+
+TEST(DeterministicSize, ExactOnRandomGraphSweep) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const NodeId n = 30 + static_cast<NodeId>(seed) * 37;
+    const Graph g = random_connected(n, n, seed);
+    EXPECT_EQ(run_deterministic(g), n) << "seed " << seed;
+  }
+}
+
+TEST(DeterministicSize, StopsEarlyOnceCoresSchedule) {
+  // The check ends the run as soon as the core count fits the slot budget,
+  // typically before the partition would naturally end.
+  Metrics with_check;
+  run_deterministic(random_connected(300, 400, 1), &with_check);
+  EXPECT_GT(with_check.slots_success, 0u);
+}
+
+TEST(SizeEstimate, AllNodesAgreeAndMedianIsReasonable) {
+  for (NodeId n : {32u, 128u, 512u}) {
+    const Graph g = ring(n, 1);
+    std::vector<std::uint64_t> estimates;
+    for (std::uint64_t seed = 0; seed < 21; ++seed) {
+      sim::Engine engine(g, [](const sim::LocalView& v) {
+        return std::make_unique<SizeEstimateProcess>(v);
+      }, seed);
+      engine.run(10'000);
+      const auto est =
+          static_cast<const SizeEstimateProcess&>(engine.process(0)).estimate();
+      for (NodeId v = 1; v < n; ++v) {
+        ASSERT_EQ(static_cast<const SizeEstimateProcess&>(engine.process(v))
+                      .estimate(),
+                  est);
+      }
+      estimates.push_back(est);
+    }
+    std::sort(estimates.begin(), estimates.end());
+    const std::uint64_t median = estimates[estimates.size() / 2];
+    EXPECT_GE(median, n / 16) << "n=" << n;
+    EXPECT_LE(median, n * 16) << "n=" << n;
+  }
+}
+
+TEST(SizeEstimate, UsesLogarithmicallyManySlots) {
+  const Graph g = ring(1024, 1);
+  sim::Engine engine(g, [](const sim::LocalView& v) {
+    return std::make_unique<SizeEstimateProcess>(v);
+  }, 3);
+  const Metrics m = engine.run(10'000);
+  EXPECT_LE(m.rounds, 40u);  // ~log2(1024) + constant
+  EXPECT_EQ(m.p2p_messages, 0u);
+}
+
+}  // namespace
+}  // namespace mmn

@@ -1,0 +1,237 @@
+// Unit tests for src/support: integer math, RNG, metrics, table printer.
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/math.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace mmn {
+namespace {
+
+TEST(Math, Ilog2Floor) {
+  EXPECT_EQ(ilog2_floor(1), 0);
+  EXPECT_EQ(ilog2_floor(2), 1);
+  EXPECT_EQ(ilog2_floor(3), 1);
+  EXPECT_EQ(ilog2_floor(4), 2);
+  EXPECT_EQ(ilog2_floor(1023), 9);
+  EXPECT_EQ(ilog2_floor(1024), 10);
+  EXPECT_EQ(ilog2_floor(std::uint64_t{1} << 63), 63);
+}
+
+TEST(Math, Ilog2Ceil) {
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_ceil(2), 1);
+  EXPECT_EQ(ilog2_ceil(3), 2);
+  EXPECT_EQ(ilog2_ceil(4), 2);
+  EXPECT_EQ(ilog2_ceil(5), 3);
+  EXPECT_EQ(ilog2_ceil(1024), 10);
+  EXPECT_EQ(ilog2_ceil(1025), 11);
+}
+
+TEST(Math, Ilog2RejectsZero) {
+  EXPECT_THROW(ilog2_floor(0), std::invalid_argument);
+  EXPECT_THROW(ilog2_ceil(0), std::invalid_argument);
+}
+
+TEST(Math, IsqrtExhaustiveSmall) {
+  for (std::uint64_t x = 0; x <= 10000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(Math, IsqrtLarge) {
+  EXPECT_EQ(isqrt(std::uint64_t{1} << 62), std::uint64_t{1} << 31);
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFFFULL;
+  const std::uint64_t r = isqrt(big);
+  EXPECT_LE(r * r, big);  // r = 2^32 - 1
+  EXPECT_EQ(r, 0xFFFFFFFFULL);
+}
+
+TEST(Math, IsqrtCeil) {
+  EXPECT_EQ(isqrt_ceil(0), 0u);
+  EXPECT_EQ(isqrt_ceil(1), 1u);
+  EXPECT_EQ(isqrt_ceil(2), 2u);
+  EXPECT_EQ(isqrt_ceil(4), 2u);
+  EXPECT_EQ(isqrt_ceil(5), 3u);
+  EXPECT_EQ(isqrt_ceil(9), 3u);
+  EXPECT_EQ(isqrt_ceil(10), 4u);
+}
+
+TEST(Math, LogStar) {
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(65536), 4);
+  EXPECT_EQ(log_star(65537), 5);
+  EXPECT_EQ(log_star(std::uint64_t{1} << 40), 5);
+}
+
+TEST(Math, ExpTower) {
+  // E_1 = 1, E_2 = e, E_3 = e^e, then saturation.
+  EXPECT_DOUBLE_EQ(exp_tower(1, 1e18), 1.0);
+  EXPECT_NEAR(exp_tower(2, 1e18), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(exp_tower(3, 1e18), std::exp(std::exp(1.0)), 1e-9);
+  EXPECT_DOUBLE_EQ(exp_tower(10, 1e6), 1e6);  // saturated at the cap
+  EXPECT_DOUBLE_EQ(exp_tower(5, 100.0), 100.0);
+}
+
+TEST(Math, ExpTowerMonotoneUntilCap) {
+  double prev = 0.0;
+  for (int i = 1; i <= 6; ++i) {
+    const double v = exp_tower(i, 1e9);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Math, ColeVishkinIterations) {
+  // Must be enough iterations that iterating b -> ceil(log2 b) + 1 from any
+  // starting width reaches the 3-bit fixed point, plus the two pinning steps.
+  for (int bits = 1; bits <= 64; ++bits) {
+    const int iters = cole_vishkin_iterations(bits);
+    int b = bits;
+    int steps = 0;
+    while (b > 3) {
+      b = ilog2_ceil(static_cast<std::uint64_t>(b)) + 1;
+      ++steps;
+    }
+    EXPECT_EQ(iters, steps + 2) << "bits=" << bits;
+    EXPECT_LE(iters, 8);  // log* growth: tiny for any practical width
+  }
+}
+
+TEST(Math, PartitionPhases) {
+  EXPECT_EQ(partition_phases(1), 0);
+  EXPECT_EQ(partition_phases(2), 1);
+  EXPECT_EQ(partition_phases(4), 1);
+  EXPECT_EQ(partition_phases(16), 2);
+  EXPECT_EQ(partition_phases(256), 4);
+  EXPECT_EQ(partition_phases(1024), 5);
+  // Final fragment size 2^phases must be >= sqrt(n).
+  for (std::uint64_t n = 2; n <= 4096; n *= 2) {
+    const int p = partition_phases(n);
+    EXPECT_GE((std::uint64_t{1} << p) * (std::uint64_t{1} << p), n) << n;
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng root(7);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  Rng a2 = Rng(7).fork(0);
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.next_bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.25, 0.02);
+}
+
+TEST(Metrics, Accumulate) {
+  Metrics a;
+  a.rounds = 10;
+  a.p2p_messages = 5;
+  a.slots_idle = 3;
+  a.slots_success = 6;
+  a.slots_collision = 1;
+  Metrics b;
+  b.rounds = 1;
+  b.p2p_messages = 2;
+  const Metrics c = a + b;
+  EXPECT_EQ(c.rounds, 11u);
+  EXPECT_EQ(c.p2p_messages, 7u);
+  EXPECT_EQ(c.slots_busy(), 7u);
+  EXPECT_EQ(c.communication(), 18u);
+}
+
+TEST(Metrics, ToStringMentionsFields) {
+  Metrics m;
+  m.rounds = 4;
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("rounds=4"), std::string::npos);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"n", "value"});
+  t.begin_row();
+  t.add(std::uint64_t{12});
+  t.add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.begin_row();
+  t.add(std::uint64_t{1});
+  EXPECT_THROW(t.add(std::uint64_t{2}), std::invalid_argument);
+}
+
+TEST(Check, RequireThrows) {
+  EXPECT_THROW(MMN_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(MMN_REQUIRE(true, "fine"));
+}
+
+}  // namespace
+}  // namespace mmn

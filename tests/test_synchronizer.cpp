@@ -1,0 +1,168 @@
+// Tests for the channel synchronizer (Section 7.1, Corollary 4): any
+// synchronous channel-free protocol runs unchanged on the asynchronous
+// engine, produces identical results, costs exactly 2x the messages (one
+// acknowledgement each) and a constant number of slots per simulated round.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/p2p_global.hpp"
+#include "core/stepped.hpp"
+#include "core/synchronizer.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mmn {
+namespace {
+
+using sim::Word;
+
+std::vector<Word> make_inputs(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Word> inputs(n);
+  for (NodeId v = 0; v < n; ++v) {
+    inputs[v] = static_cast<Word>(rng.next_below(100'000)) + 1;
+  }
+  return inputs;
+}
+
+struct ComparedRun {
+  Word sync_result = 0;
+  Word async_result = 0;
+  Metrics sync_metrics;
+  Metrics async_metrics;
+};
+
+ComparedRun run_compared(const Graph& g, std::uint32_t max_delay_slots) {
+  const auto inputs = make_inputs(g.num_nodes(), 9);
+  P2pGlobalConfig config;
+  config.op = SemigroupOp::kSum;
+  auto factory = [&](const sim::LocalView& v) -> std::unique_ptr<sim::Process> {
+    return std::make_unique<P2pGlobalProcess>(v, config, inputs[v.self]);
+  };
+
+  ComparedRun run;
+  sim::Engine sync_engine(g, factory, 5);
+  run.sync_metrics = sync_engine.run(1'000'000);
+  run.sync_result =
+      static_cast<const P2pGlobalProcess&>(sync_engine.process(0)).result();
+
+  sim::AsyncEngine async_engine(g, synchronize(factory), 5, max_delay_slots);
+  run.async_metrics = async_engine.run(10'000'000);
+  const auto& wrapper =
+      static_cast<const SynchronizerProcess&>(async_engine.process(0));
+  run.async_result =
+      static_cast<const P2pGlobalProcess&>(wrapper.inner()).result();
+  return run;
+}
+
+TEST(Synchronizer, IdenticalResultsAcrossDelays) {
+  const Graph g = random_connected(40, 50, 3);
+  const auto inputs = make_inputs(40, 9);
+  Word expected = inputs[0];
+  for (NodeId v = 1; v < 40; ++v) {
+    expected = semigroup_apply(SemigroupOp::kSum, expected, inputs[v]);
+  }
+  for (std::uint32_t delay : {1u, 2u, 5u}) {
+    const ComparedRun run = run_compared(g, delay);
+    EXPECT_EQ(run.sync_result, expected) << "delay " << delay;
+    EXPECT_EQ(run.async_result, expected) << "delay " << delay;
+  }
+}
+
+TEST(Synchronizer, MessageOverheadIsExactlyTwofold) {
+  const Graph g = grid(6, 6, 2);
+  const ComparedRun run = run_compared(g, 1);
+  EXPECT_EQ(run.async_metrics.p2p_messages, 2 * run.sync_metrics.p2p_messages);
+}
+
+TEST(Synchronizer, ConstantSlotsPerRoundAtUnitDelay) {
+  // With delay <= 1 slot (the paper's time-accounting assumption), each
+  // simulated round costs a small constant number of slots.
+  const Graph g = ring(30, 1);
+  const ComparedRun run = run_compared(g, 1);
+  const double ratio = static_cast<double>(run.async_metrics.rounds) /
+                       static_cast<double>(run.sync_metrics.rounds);
+  EXPECT_LE(ratio, 6.0);
+  EXPECT_GE(ratio, 1.0);
+}
+
+TEST(Synchronizer, TimeScalesWithDelayBound) {
+  const Graph g = ring(30, 1);
+  const ComparedRun fast = run_compared(g, 1);
+  const ComparedRun slow = run_compared(g, 6);
+  EXPECT_GT(slow.async_metrics.rounds, fast.async_metrics.rounds);
+}
+
+/// A protocol that illegally writes the channel.
+class ChannelAbuser final : public sim::Process {
+ public:
+  void round(sim::NodeContext& ctx) override {
+    ctx.channel_write(sim::Packet(1));
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+  bool done_ = false;
+};
+
+TEST(Synchronizer, RejectsChannelUse) {
+  const Graph g = path(2, 1);
+  sim::AsyncEngine engine(
+      g,
+      synchronize([](const sim::LocalView&) -> std::unique_ptr<sim::Process> {
+        return std::make_unique<ChannelAbuser>();
+      }),
+      1, 1);
+  EXPECT_THROW(engine.run(100), std::invalid_argument);
+}
+
+/// A protocol using a reserved packet type.
+class ReservedTypeAbuser final : public sim::Process {
+ public:
+  explicit ReservedTypeAbuser(const sim::LocalView& view) : view_(view) {}
+  void round(sim::NodeContext& ctx) override {
+    if (!view_.links.empty()) {
+      ctx.send(view_.links[0].edge, sim::Packet(0xFFFE));
+    }
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+  const sim::LocalView& view_;
+  bool done_ = false;
+};
+
+TEST(Synchronizer, RejectsReservedPacketTypes) {
+  const Graph g = path(2, 1);
+  sim::AsyncEngine engine(
+      g,
+      synchronize([](const sim::LocalView& v) -> std::unique_ptr<sim::Process> {
+        return std::make_unique<ReservedTypeAbuser>(v);
+      }),
+      1, 1);
+  EXPECT_THROW(engine.run(100), std::invalid_argument);
+}
+
+TEST(Synchronizer, PulsesMatchSynchronousRounds) {
+  const Graph g = path(10, 1);
+  const auto inputs = make_inputs(10, 9);
+  P2pGlobalConfig config;
+  config.op = SemigroupOp::kMin;
+  auto factory = [&](const sim::LocalView& v) -> std::unique_ptr<sim::Process> {
+    return std::make_unique<P2pGlobalProcess>(v, config, inputs[v.self]);
+  };
+  sim::Engine sync_engine(g, factory, 5);
+  const Metrics sync_metrics = sync_engine.run(100'000);
+
+  sim::AsyncEngine async_engine(g, synchronize(factory), 5, 1);
+  async_engine.run(1'000'000);
+  const auto& wrapper =
+      static_cast<const SynchronizerProcess&>(async_engine.process(0));
+  // The synchronizer drives exactly as many pulses as the synchronous run
+  // has rounds (within the one-round slack of engine termination).
+  EXPECT_NEAR(static_cast<double>(wrapper.pulses()),
+              static_cast<double>(sync_metrics.rounds), 2.0);
+}
+
+}  // namespace
+}  // namespace mmn

@@ -1,0 +1,100 @@
+// Tests for the Section 7.2 slotted-from-unslotted construction: emergent
+// boundaries contain every transmission of their slot, the derived outcomes
+// match an ideally slotted channel, and the construction is robust across
+// jitter configurations.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/unslotted.hpp"
+#include "support/rng.hpp"
+
+namespace mmn::sim {
+namespace {
+
+std::vector<std::vector<NodeId>> random_write_pattern(NodeId stations,
+                                                      std::size_t slots,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<NodeId>> pattern(slots);
+  for (auto& slot : pattern) {
+    const std::uint64_t count = rng.next_below(4);  // 0..3 writers
+    std::vector<bool> used(stations, false);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto w = static_cast<NodeId>(rng.next_below(stations));
+      if (!used[w]) {
+        used[w] = true;
+        slot.push_back(w);
+      }
+    }
+  }
+  return pattern;
+}
+
+struct JitterCase {
+  std::uint32_t delay;
+  std::uint32_t transmit;
+  std::uint32_t gap;
+};
+
+class UnslottedTest : public ::testing::TestWithParam<JitterCase> {};
+
+TEST_P(UnslottedTest, TransmissionsContainedInTheirSlot) {
+  const auto& c = GetParam();
+  UnslottedConfig config{c.delay, c.transmit, c.gap, 11};
+  const auto pattern = random_write_pattern(16, 60, 3);
+  const UnslottedRun run = run_unslotted(16, pattern, config);
+  ASSERT_EQ(run.boundaries.size(), pattern.size() + 1);
+  for (const Transmission& t : run.transmissions) {
+    EXPECT_GE(t.start_tick, run.boundaries[t.logical_slot])
+        << "slot " << t.logical_slot;
+    EXPECT_LE(t.end_tick, run.boundaries[t.logical_slot + 1])
+        << "slot " << t.logical_slot;
+  }
+}
+
+TEST_P(UnslottedTest, OutcomesMatchIdealSlottedChannel) {
+  const auto& c = GetParam();
+  UnslottedConfig config{c.delay, c.transmit, c.gap, 13};
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto pattern = random_write_pattern(12, 40, seed);
+    const UnslottedRun run = run_unslotted(12, pattern, config);
+    EXPECT_EQ(run.outcomes, run_slotted_reference(pattern)) << "seed " << seed;
+  }
+}
+
+TEST_P(UnslottedTest, BoundariesAreMonotone) {
+  const auto& c = GetParam();
+  UnslottedConfig config{c.delay, c.transmit, c.gap, 17};
+  const auto pattern = random_write_pattern(8, 30, 9);
+  const UnslottedRun run = run_unslotted(8, pattern, config);
+  for (std::size_t s = 1; s < run.boundaries.size(); ++s) {
+    EXPECT_GT(run.boundaries[s], run.boundaries[s - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Jitter, UnslottedTest,
+    ::testing::Values(JitterCase{1, 1, 1}, JitterCase{8, 32, 4},
+                      JitterCase{64, 16, 2}, JitterCase{4, 128, 16},
+                      JitterCase{100, 1, 50}));
+
+TEST(Unslotted, IdleSlotsCostOnlyTheGap) {
+  UnslottedConfig config{8, 32, 4, 1};
+  const std::vector<std::vector<NodeId>> pattern(10);  // all slots idle
+  const UnslottedRun run = run_unslotted(4, pattern, config);
+  for (std::size_t s = 0; s + 1 < run.boundaries.size(); ++s) {
+    EXPECT_EQ(run.boundaries[s + 1] - run.boundaries[s], config.idle_gap_ticks);
+  }
+}
+
+TEST(Unslotted, RejectsBadArguments) {
+  UnslottedConfig config;
+  EXPECT_THROW(run_unslotted(0, {}, config), std::invalid_argument);
+  EXPECT_THROW(run_unslotted(2, {{5}}, config), std::invalid_argument);
+  config.idle_gap_ticks = 0;
+  EXPECT_THROW(run_unslotted(2, {{1}}, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmn::sim
