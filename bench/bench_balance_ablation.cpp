@@ -41,8 +41,9 @@ std::uint64_t partition_only(const Graph& g, int phases) {
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "balance_ablation");
   bench::print_header("E9", "ablation: unbalanced vs balanced stages (5.1)");
   bench::print_note(
       "unbalanced partitions to 2^p >= sqrt(n); balanced to 2^p ~\n"
@@ -76,6 +77,7 @@ int main() {
       table.add(static_cast<double>(bal) / unbal, 2);
     }
   }
-  table.print(std::cout);
+  out.table("ablation", table);
+  out.finish();
   return 0;
 }

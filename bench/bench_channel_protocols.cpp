@@ -135,8 +135,9 @@ int election_rounds(std::uint64_t n, const std::vector<std::uint64_t>& ids) {
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "channel_protocols");
   const std::uint64_t n = 4096;
   bench::print_header("E10", "channel scheduling disciplines (id space 4096)");
   bench::print_note(
@@ -165,6 +166,7 @@ int main() {
     table.add(std::int64_t{election_rounds(n, ids)});
     table.add(re / trials, 1);
   }
-  table.print(std::cout);
+  out.table("disciplines", table);
+  out.finish();
   return 0;
 }

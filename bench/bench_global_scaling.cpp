@@ -28,8 +28,9 @@ std::uint64_t time_mm(const Graph& g, GlobalFunctionConfig config) {
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "global_scaling");
   bench::print_header("E4", "time vs n on rings (figure series, log-log)");
   bench::print_note(
       "expected fitted exponents: mm_* ~ 0.5 (sqrt) plus log factors —\n"
@@ -76,7 +77,7 @@ int main() {
     p2p.push_back(static_cast<double>(t_p2p));
     bc.push_back(static_cast<double>(t_bc));
   }
-  table.print(std::cout);
+  out.table("times", table);
 
   Table fits({"series", "fitted exponent (log-log slope)"});
   fits.begin_row();
@@ -91,6 +92,7 @@ int main() {
   fits.begin_row();
   fits.add(std::string("bcast"));
   fits.add(bench::fitted_exponent(ns, bc), 3);
-  fits.print(std::cout);
+  out.table("fits", fits);
+  out.finish();
   return 0;
 }

@@ -91,8 +91,9 @@ void add_row(Table& table, const std::string& topo, const Graph& g,
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "global_table");
   bench::print_header("E3",
                       "global sensitive functions: multimedia vs components");
   bench::print_note(
@@ -116,6 +117,7 @@ int main() {
     const Graph g = random_connected(n, 2 * n, 7);
     add_row(table, "random(2n)", g, diameter(g));
   }
-  table.print(std::cout);
+  out.table("comparison", table);
+  out.finish();
   return 0;
 }

@@ -54,8 +54,9 @@ RayPoint run_point(NodeId rays, NodeId ray_len) {
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "lower_bound_ray");
   bench::print_header(
       "E5", "ray graphs: time vs diameter at fixed n (Theorem 2 shape)");
   bench::print_note(
@@ -91,6 +92,7 @@ int main() {
     table.add(best);
     table.add(static_cast<double>(best) / lower, 2);
   }
-  table.print(std::cout);
+  out.table("ray_profile", table);
+  out.finish();
   return 0;
 }

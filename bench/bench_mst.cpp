@@ -77,8 +77,9 @@ void run_row(Table& table, const std::string& topo, const Graph& g,
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "mst");
   bench::print_header("E6", "minimum spanning tree (Section 6)");
   bench::print_note(
       "mm = three-stage multimedia MST; p2p = synchronous Boruvka baseline\n"
@@ -94,6 +95,7 @@ int main() {
   }
   run_row(table, "ring", ring(512, 47), false);
   run_row(table, "complete", complete(64, 53), true);
-  table.print(std::cout);
+  out.table("mst", table);
+  out.finish();
   return 0;
 }

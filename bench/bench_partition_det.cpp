@@ -57,8 +57,9 @@ void run_row(Table& table, const std::string& topo, const Graph& g) {
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "partition_det");
   bench::print_header("E1", "deterministic partitioning (Section 3)");
   bench::print_note(
       "claims: #frag <= sqrt(n); min size >= sqrt(n); radius <= 2^{L+3}-1;\n"
@@ -80,6 +81,7 @@ int main() {
   for (NodeId n : {256u, 1024u, 4096u}) {
     run_row(table, "ring", ring(n, 19));
   }
-  table.print(std::cout);
+  out.table("partition", table);
+  out.finish();
   return 0;
 }

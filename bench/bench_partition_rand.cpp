@@ -62,8 +62,9 @@ void run_row(Table& table, const std::string& topo, const Graph& g,
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "partition_rand");
   bench::print_header("E2", "randomized partitioning (Section 4, Theorem 1)");
   bench::print_note(
       "claims: E[#trees] = O(sqrt(n)) (flat E/sqrt(n) column); radius <=\n"
@@ -81,6 +82,7 @@ int main() {
   for (NodeId n : {256u, 1024u}) {
     run_row(table, "ring", ring(n, 31), 10);
   }
-  table.print(std::cout);
+  out.table("partition", table);
+  out.finish();
   return 0;
 }

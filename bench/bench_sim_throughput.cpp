@@ -1,75 +1,82 @@
 // E11 — Engineering benchmark: simulator throughput (google-benchmark).
 //
-// Wall-clock cost of the engines themselves — rounds per second of the
-// synchronous engine under the deterministic partition workload, raw channel
-// slot resolution, and the asynchronous engine under the synchronizer.  This
-// is the only wall-clock bench; all experiment tables use model metrics.
+// Wall-clock cost of the engines themselves, swept from the scenario
+// registry instead of hand-rolled loops:
+//   * scenario/<name>/<n>       — every registered scenario at its default
+//                                 sweep sizes under the serial scheduler;
+//   * sched/<name>/<n>/t<k>     — the cheapest large scenario under the
+//                                 parallel scheduler at 1/2/4/8 threads
+//                                 (n >= 4096, the parallel-speedup gate);
+//   * async/synchronized/<side> — the asynchronous engine driving a
+//                                 synchronous protocol through the busy-tone
+//                                 synchronizer (Section 7.1);
+//   * channel/resolve           — raw slot resolution.
+// This is the only wall-clock bench; all experiment tables use model
+// metrics.  `--json` maps to google-benchmark's JSON output, written to
+// BENCH_sim_throughput.json.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/p2p_global.hpp"
-#include "core/global_function.hpp"
-#include "core/partition_det.hpp"
 #include "core/synchronizer.hpp"
 #include "graph/generators.hpp"
+#include "scenario/registry.hpp"
+#include "sim/async_engine.hpp"
 #include "sim/channel.hpp"
+#include "sim/scheduler.hpp"
 
 namespace mmn {
 namespace {
 
-void BM_PartitionDet(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  const Graph g = random_connected(n, 2 * n, 7);
+void run_scenario(benchmark::State& state, const scenario::Scenario& s,
+                  NodeId n, unsigned threads) {
+  // Graph generation is hoisted out of the timed loop; the engine build and
+  // run are the measured work.  The per-iteration scheduler construction
+  // (thread spawn, ~0.1 ms) is noise against the >= 10^3 rounds per run.
+  const Graph g = s.make_graph(n, s.default_seed);
   std::uint64_t rounds = 0;
   for (auto _ : state) {
-    sim::Engine engine(g, [](const sim::LocalView& v) {
-      return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
-    }, 7);
-    rounds += engine.run(80'000'000).rounds;
+    sim::Engine engine(g, s.make_factory(g), s.default_seed,
+                       threads <= 1 ? nullptr : sim::make_scheduler(threads));
+    rounds += engine.run(s.max_rounds).rounds;
   }
   state.counters["sim_rounds/s"] = benchmark::Counter(
       static_cast<double>(rounds), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_PartitionDet)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_GlobalMinRandomized(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  const Graph g = ring(n, 7);
-  GlobalFunctionConfig config;
-  config.op = SemigroupOp::kMin;
-  config.variant = GlobalFunctionConfig::Variant::kRandomized;
-  std::uint64_t rounds = 0;
-  for (auto _ : state) {
-    sim::Engine engine(g, [&](const sim::LocalView& v) {
-      return std::make_unique<GlobalFunctionProcess>(
-          v, config, static_cast<sim::Word>(v.self) + 1);
-    }, 7);
-    rounds += engine.run(80'000'000).rounds;
+void register_scenario_sweeps() {
+  scenario::register_builtin();
+  for (const scenario::Scenario& s : scenario::Registry::instance().all()) {
+    for (NodeId n : s.sweep_n) {
+      benchmark::RegisterBenchmark(
+          ("scenario/" + s.name + "/" + std::to_string(n)).c_str(),
+          [&s, n](benchmark::State& state) { run_scenario(state, s, n, 1); });
+    }
   }
-  state.counters["sim_rounds/s"] = benchmark::Counter(
-      static_cast<double>(rounds), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_GlobalMinRandomized)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_ChannelResolve(benchmark::State& state) {
-  sim::Channel channel;
-  Metrics metrics;
-  std::uint64_t slots = 0;
-  for (auto _ : state) {
-    channel.write(0, sim::Packet(1, {42}));
-    channel.write(1, sim::Packet(1, {43}));
-    benchmark::DoNotOptimize(channel.resolve(metrics));
-    ++slots;
+  // Serial-vs-parallel scaling at n >= 4096 on the cheapest large scenario.
+  const scenario::Scenario* scaling =
+      scenario::Registry::instance().find("global/min/rand/ring");
+  if (scaling != nullptr) {
+    const NodeId n = 4096;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      benchmark::RegisterBenchmark(
+          ("sched/" + scaling->name + "/" + std::to_string(n) + "/t" +
+           std::to_string(threads))
+              .c_str(),
+          [scaling, n, threads](benchmark::State& state) {
+            run_scenario(state, *scaling, n, threads);
+          });
+    }
   }
-  state.counters["slots/s"] = benchmark::Counter(
-      static_cast<double>(slots), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ChannelResolve);
 
 void BM_SynchronizedAsyncRun(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  const Graph g = grid(n, n, 7);
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Graph g = grid(side, side, 7);
   P2pGlobalConfig config;
   config.op = SemigroupOp::kSum;
   auto factory = [&](const sim::LocalView& v) -> std::unique_ptr<sim::Process> {
@@ -84,9 +91,47 @@ void BM_SynchronizedAsyncRun(benchmark::State& state) {
   state.counters["slots/s"] = benchmark::Counter(
       static_cast<double>(slots), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SynchronizedAsyncRun)->Arg(8)->Arg(16);
+BENCHMARK(BM_SynchronizedAsyncRun)
+    ->Name("async/synchronized")
+    ->Arg(8)
+    ->Arg(16);
+
+void BM_ChannelResolve(benchmark::State& state) {
+  sim::Channel channel;
+  Metrics metrics;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    channel.write(0, sim::Packet(1, {42}));
+    channel.write(1, sim::Packet(1, {43}));
+    benchmark::DoNotOptimize(channel.resolve(metrics));
+    ++slots;
+  }
+  state.counters["slots/s"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ChannelResolve)->Name("channel/resolve");
 
 }  // namespace
 }  // namespace mmn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Map the repo-wide --json flag onto google-benchmark's JSON writer.
+  std::vector<char*> args;
+  std::string out_flag = "--benchmark_out=BENCH_sim_throughput.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int new_argc = static_cast<int>(args.size());
+  mmn::register_scenario_sweeps();
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

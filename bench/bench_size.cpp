@@ -66,8 +66,9 @@ void rand_row(Table& table, NodeId n) {
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "size");
   bench::print_header("E8", "network size (Sections 7.3 and 7.4)");
   bench::print_note(
       "deterministic (partition + per-phase core scheduling): exact n in\n"
@@ -76,7 +77,7 @@ int main() {
   for (NodeId n : {64u, 256u, 1024u, 4096u}) {
     det_row(det, random_connected(n, 2 * n, 61));
   }
-  det.print(std::cout);
+  out.table("deterministic", det);
 
   bench::print_note(
       "\nrandomized Greenberg–Ladner estimate (channel only, 31 seeds):\n"
@@ -88,6 +89,7 @@ int main() {
   for (NodeId n : {64u, 256u, 1024u, 4096u}) {
     rand_row(rnd, n);
   }
-  rnd.print(std::cout);
+  out.table("randomized", rnd);
+  out.finish();
   return 0;
 }

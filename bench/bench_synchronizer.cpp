@@ -42,8 +42,9 @@ SyncRow run_row(const Graph& g, std::uint32_t delay) {
 }  // namespace
 }  // namespace mmn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmn;
+  bench::BenchOutput out(argc, argv, "synchronizer");
   bench::print_header("E7", "busy-tone synchronizer overhead (Section 7.1)");
   bench::print_note(
       "claims: message ratio exactly 2.0 (one ack per message); slots per\n"
@@ -66,6 +67,7 @@ int main() {
       table.add(static_cast<double>(row.async_msgs) / row.sync_msgs, 2);
     }
   }
-  table.print(std::cout);
+  out.table("overhead", table);
+  out.finish();
   return 0;
 }

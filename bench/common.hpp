@@ -9,8 +9,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -19,6 +22,49 @@
 #include "support/table.hpp"
 
 namespace mmn::bench {
+
+/// Uniform output driver for the experiment binaries.  Every bench prints
+/// its tables as before; passing `--json` additionally dumps them to
+/// BENCH_<id>.json so the perf trajectory is machine-readable.
+class BenchOutput {
+ public:
+  BenchOutput(int argc, char** argv, std::string id) : id_(std::move(id)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") json_ = true;
+    }
+  }
+
+  bool json() const { return json_; }
+
+  /// Prints the table and, under --json, records it for the final dump.
+  void table(const std::string& key, const Table& t) {
+    t.print(std::cout);
+    if (json_) {
+      std::ostringstream os;
+      t.write_json(os);
+      parts_.emplace_back(key, os.str());
+    }
+  }
+
+  /// Writes BENCH_<id>.json when --json was passed; call once at the end.
+  void finish() const {
+    if (!json_) return;
+    const std::string path = "BENCH_" + id_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << id_ << "\",\n  \"tables\": {";
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \"" << parts_[i].first
+          << "\": " << parts_[i].second;
+    }
+    out << "\n  }\n}\n";
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  std::string id_;
+  bool json_ = false;
+  std::vector<std::pair<std::string, std::string>> parts_;
+};
 
 inline void print_header(const std::string& id, const std::string& title) {
   std::cout << "\n=== " << id << ": " << title << " ===\n";

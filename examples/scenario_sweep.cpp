@@ -1,0 +1,53 @@
+// Scenario sweep: drive every registered workload from one table.
+//
+// The scenario registry (src/scenario/registry.hpp) names each workload —
+// graph family x protocol x default n/seed sweep — once; this example walks
+// the whole table at its smallest size, optionally under the parallel
+// scheduler, and prints the model metrics plus the per-node result digest.
+// It is the template for adding a new workload: register it once and every
+// sweep driver (this example, bench_sim_throughput, the scheduler
+// equivalence suite) picks it up.
+//
+//   $ ./example_scenario_sweep            # serial
+//   $ ./example_scenario_sweep 8          # 8-thread parallel scheduler
+#include <cstdio>
+#include <cstdlib>
+
+#include "scenario/registry.hpp"
+#include "sim/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmn;
+  long parsed = 1;
+  if (argc > 1) {
+    char* end = nullptr;
+    parsed = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || parsed < 1 || parsed > 256) {
+      std::fprintf(stderr, "usage: %s [threads: 1..256]\n", argv[0]);
+      return 2;
+    }
+  }
+  const unsigned threads = static_cast<unsigned>(parsed);
+
+  scenario::register_builtin();
+  const auto& scenarios = scenario::Registry::instance().all();
+  std::printf("%zu scenarios registered; scheduler: %s\n\n", scenarios.size(),
+              threads > 1 ? "parallel" : "serial");
+  std::printf("%-28s %6s %10s %12s %18s\n", "scenario", "n", "rounds", "msgs",
+              "digest");
+  for (const auto& s : scenarios) {
+    const NodeId n = s.sweep_n.front();
+    const scenario::RunResult r = scenario::run(
+        s, n, s.default_seed,
+        threads > 1 ? sim::make_scheduler(threads) : nullptr);
+    std::printf("%-28s %6u %10llu %12llu %18llx\n", s.name.c_str(),
+                r.realized_n, (unsigned long long)r.metrics.rounds,
+                (unsigned long long)r.metrics.p2p_messages,
+                (unsigned long long)r.digest);
+  }
+  std::printf("\nRe-run with a thread count (e.g. `%s 8`): the rounds, msgs,\n"
+              "and digest columns are identical by construction — the\n"
+              "parallel scheduler is deterministic.\n",
+              argv[0]);
+  return 0;
+}

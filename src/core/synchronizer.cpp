@@ -17,7 +17,7 @@ class SynchronizerProcess::Shim final : public sim::NodeContext {
   std::uint64_t round() const override { return round_; }
   const sim::LocalView& view() const override { return owner_.view_; }
   Rng& rng() override { return async_.rng(); }
-  const std::vector<sim::Received>& inbox() const override {
+  std::span<const sim::Received> inbox() const override {
     return owner_.buffered_;
   }
   const sim::SlotObservation& slot() const override {

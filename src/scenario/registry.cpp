@@ -1,0 +1,271 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "baselines/broadcast_global.hpp"
+#include "baselines/p2p_global.hpp"
+#include "core/global_function.hpp"
+#include "core/mst.hpp"
+#include "core/partition_det.hpp"
+#include "core/partition_rand.hpp"
+#include "core/size.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace mmn::scenario {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(Scenario s) {
+  MMN_REQUIRE(!s.name.empty(), "scenario needs a name");
+  MMN_REQUIRE(find(s.name) == nullptr, "duplicate scenario name");
+  MMN_REQUIRE(s.make_graph != nullptr, "scenario needs a graph family");
+  MMN_REQUIRE(s.make_factory != nullptr, "scenario needs a process factory");
+  MMN_REQUIRE(!s.sweep_n.empty(), "scenario needs a default sweep");
+  scenarios_.push_back(std::move(s));
+}
+
+const Scenario* Registry::find(std::string_view name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
+              std::unique_ptr<sim::Scheduler> scheduler) {
+  const Graph g = s.make_graph(n, seed);
+  sim::Engine engine(g, s.make_factory(g), seed, std::move(scheduler));
+  RunResult result;
+  result.metrics = engine.run(s.max_rounds);
+  result.realized_n = g.num_nodes();
+  if (s.digest) result.digest = s.digest(engine);
+  return result;
+}
+
+namespace {
+
+/// Folds one word per node, node-major — deterministic and comparable
+/// across schedulers because node iteration order is fixed.
+template <typename PerNode>
+std::uint64_t fold_nodes(const sim::Engine& engine, PerNode&& per_node) {
+  std::uint64_t h = kDigestSeed;
+  for (NodeId v = 0; v < engine.num_nodes(); ++v) {
+    h = digest_mix(h, per_node(engine.process(v), v));
+  }
+  return h;
+}
+
+std::uint64_t fragment_digest(const sim::Engine& engine) {
+  return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+    const auto& f = dynamic_cast<const FragmentState&>(p);
+    return digest_mix(f.fragment_id(),
+                      static_cast<std::uint64_t>(f.tree_parent_edge()) + 1);
+  });
+}
+
+Graph square_grid(NodeId n, std::uint64_t seed) {
+  const auto side = static_cast<NodeId>(std::max(
+      2.0, std::round(std::sqrt(static_cast<double>(n)))));
+  return grid(side, side, seed);
+}
+
+void register_all() {
+  Registry& r = Registry::instance();
+
+  r.add(Scenario{
+      "partition/det/random",
+      "Section 3 deterministic partition on a random connected graph",
+      "random",
+      [](NodeId n, std::uint64_t seed) {
+        return random_connected(n, 2 * n, seed);
+      },
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<PartitionDetProcess>(v,
+                                                       PartitionDetConfig{});
+        };
+      },
+      fragment_digest,
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "partition/rand/random",
+      "Section 4 randomized partition on a random connected graph",
+      "random",
+      [](NodeId n, std::uint64_t seed) {
+        return random_connected(n, 2 * n, seed);
+      },
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<PartitionRandProcess>(v,
+                                                        PartitionRandConfig{});
+        };
+      },
+      fragment_digest,
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "mst/random",
+      "Section 6 multimedia MST on a random connected graph",
+      "random",
+      [](NodeId n, std::uint64_t seed) {
+        return random_connected(n, 2 * n, seed);
+      },
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<MstProcess>(v);
+        };
+      },
+      [](const sim::Engine& engine) {
+        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+          const auto& mst = dynamic_cast<const MstProcess&>(p);
+          std::vector<EdgeId> edges = mst.mst_edges();
+          std::sort(edges.begin(), edges.end());
+          std::uint64_t h = kDigestSeed;
+          for (EdgeId e : edges) h = digest_mix(h, e);
+          return h;
+        });
+      },
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "global/min/det/random",
+      "Section 5 deterministic global min on a random connected graph",
+      "random",
+      [](NodeId n, std::uint64_t seed) {
+        return random_connected(n, 2 * n, seed);
+      },
+      [](const Graph&) -> sim::ProcessFactory {
+        GlobalFunctionConfig config;
+        config.op = SemigroupOp::kMin;
+        config.variant = GlobalFunctionConfig::Variant::kDeterministic;
+        return [config](const sim::LocalView& v) {
+          return std::make_unique<GlobalFunctionProcess>(
+              v, config, static_cast<sim::Word>(v.self) + 1);
+        };
+      },
+      [](const sim::Engine& engine) {
+        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+          return static_cast<std::uint64_t>(
+              dynamic_cast<const GlobalFunctionProcess&>(p).result());
+        });
+      },
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "global/min/rand/ring",
+      "Section 5 randomized global min on a ring",
+      "ring",
+      [](NodeId n, std::uint64_t seed) { return ring(n, seed); },
+      [](const Graph&) -> sim::ProcessFactory {
+        GlobalFunctionConfig config;
+        config.op = SemigroupOp::kMin;
+        config.variant = GlobalFunctionConfig::Variant::kRandomized;
+        return [config](const sim::LocalView& v) {
+          return std::make_unique<GlobalFunctionProcess>(
+              v, config, static_cast<sim::Word>(v.self) + 1);
+        };
+      },
+      [](const sim::Engine& engine) {
+        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+          return static_cast<std::uint64_t>(
+              dynamic_cast<const GlobalFunctionProcess&>(p).result());
+        });
+      },
+      {256, 1024, 4096},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "global/sum/bcast/complete",
+      "Channel-only TDMA baseline folding a sum on a complete graph",
+      "complete",
+      [](NodeId n, std::uint64_t seed) { return complete(n, seed); },
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<BroadcastGlobalProcess>(
+              v, SemigroupOp::kSum, static_cast<sim::Word>(v.self) + 1);
+        };
+      },
+      [](const sim::Engine& engine) {
+        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+          return static_cast<std::uint64_t>(
+              dynamic_cast<const BroadcastGlobalProcess&>(p).result());
+        });
+      },
+      {64, 128},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "global/min/p2p/grid",
+      "Pure point-to-point baseline folding a min on a square grid",
+      "grid",
+      square_grid,
+      [](const Graph&) -> sim::ProcessFactory {
+        P2pGlobalConfig config;
+        config.op = SemigroupOp::kMin;
+        return [config](const sim::LocalView& v) {
+          return std::make_unique<P2pGlobalProcess>(
+              v, config, static_cast<sim::Word>(v.self) + 1);
+        };
+      },
+      [](const sim::Engine& engine) {
+        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+          return static_cast<std::uint64_t>(
+              dynamic_cast<const P2pGlobalProcess&>(p).result());
+        });
+      },
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "size/det/random",
+      "Section 7.3 exact network-size computation on a random graph",
+      "random",
+      [](NodeId n, std::uint64_t seed) {
+        return random_connected(n, 2 * n, seed);
+      },
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<DeterministicSizeProcess>(v);
+        };
+      },
+      [](const sim::Engine& engine) {
+        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+          return dynamic_cast<const DeterministicSizeProcess&>(p)
+              .network_size();
+        });
+      },
+      {64, 256},
+      7,
+      200'000'000});
+}
+
+}  // namespace
+
+void register_builtin() {
+  static const bool once = [] {
+    register_all();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace mmn::scenario

@@ -1,0 +1,90 @@
+// Scenario registry: named workload configurations.
+//
+// A Scenario bundles a graph family, a protocol factory, a result digest,
+// and a default n/seed sweep under one name ("mst/random", "global/min/
+// rand/ring", ...).  Benches, examples, and tests consume the table from
+// here instead of hand-rolling their own loops, so adding a workload is one
+// registration — the throughput bench, the equivalence suite, and any sweep
+// driver pick it up automatically.
+//
+// All scenarios are deterministic per (n, seed) and scheduler-independent:
+// run() under a ParallelScheduler returns bit-identical Metrics and digest
+// to a serial run (see sim/scheduler.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+#include "support/metrics.hpp"
+
+namespace mmn::scenario {
+
+struct Scenario {
+  std::string name;         ///< "family/variant", unique in the registry
+  std::string description;  ///< one line for listings
+  std::string graph_family; ///< for display ("random", "ring", ...)
+
+  /// Builds the topology for a nominal size n (families with structural
+  /// constraints — grids, hypercubes — may round n; read the graph's
+  /// num_nodes() for the realized size).
+  std::function<Graph(NodeId n, std::uint64_t seed)> make_graph;
+
+  /// Builds the per-node process factory for a given topology.
+  std::function<sim::ProcessFactory(const Graph& g)> make_factory;
+
+  /// Order-independent digest of the per-node results (e.g. the MST edge
+  /// set, the fragment assignment, the computed global value), used to
+  /// compare runs across schedulers.  May be null.
+  std::function<std::uint64_t(const sim::Engine& engine)> digest;
+
+  std::vector<NodeId> sweep_n;  ///< default sweep sizes, ascending
+  std::uint64_t default_seed = 7;
+  std::uint64_t max_rounds = 200'000'000;
+};
+
+struct RunResult {
+  Metrics metrics;
+  std::uint64_t digest = 0;  ///< 0 when the scenario has no digest fn
+  NodeId realized_n = 0;     ///< nodes in the generated graph
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers a scenario; the name must be unused.  Elements have stable
+  /// addresses (deque storage): pointers and references returned by find()
+  /// or all() stay valid across later add() calls, which benches rely on
+  /// when capturing scenarios in registered-benchmark lambdas.
+  void add(Scenario s);
+
+  const Scenario* find(std::string_view name) const;
+  const std::deque<Scenario>& all() const { return scenarios_; }
+
+ private:
+  std::deque<Scenario> scenarios_;
+};
+
+/// Registers the built-in scenario table; idempotent.
+void register_builtin();
+
+/// Runs one scenario at size n: generate the graph, build the engine under
+/// `scheduler` (null = serial), run to completion, digest the results.
+RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
+              std::unique_ptr<sim::Scheduler> scheduler = nullptr);
+
+/// FNV-1a fold helper for digest implementations.
+inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t word) {
+  h ^= word;
+  return h * 0x100000001b3ULL;
+}
+inline constexpr std::uint64_t kDigestSeed = 0xcbf29ce484222325ULL;
+
+}  // namespace mmn::scenario

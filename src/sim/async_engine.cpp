@@ -9,7 +9,9 @@ namespace mmn::sim {
 class AsyncEngine::Context final : public AsyncContext {
  public:
   Context(AsyncEngine& engine, NodeId v)
-      : engine_(engine), view_(engine.views_[v]), rng_(engine.rngs_[v]) {}
+      : engine_(engine),
+        view_(engine.core_.view(v)),
+        rng_(engine.core_.rng(v)) {}
 
   const LocalView& view() const override { return view_; }
   Rng& rng() override { return rng_; }
@@ -23,7 +25,7 @@ class AsyncEngine::Context final : public AsyncContext {
     engine_.pending_.push(PendingMessage{
         engine_.now_tick_ + delay, engine_.send_seq_++, nb.id,
         Received{view_.self, edge, packet}});
-    ++engine_.metrics_.p2p_messages;
+    ++engine_.core_.metrics().p2p_messages;
   }
 
   void channel_write(const Packet& packet) override {
@@ -32,7 +34,7 @@ class AsyncEngine::Context final : public AsyncContext {
     auto& last = engine_.last_write_slot_[view_.self];
     if (last == engine_.slot_index_) return;
     last = engine_.slot_index_;
-    engine_.channel_.write(view_.self, packet);
+    engine_.core_.channel().write(view_.self, packet);
   }
 
  private:
@@ -43,25 +45,13 @@ class AsyncEngine::Context final : public AsyncContext {
 
 AsyncEngine::AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
                          std::uint64_t seed, std::uint32_t max_delay_slots)
-    : max_delay_ticks_(max_delay_slots * kTicksPerSlot) {
+    : core_(g, seed), max_delay_ticks_(max_delay_slots * kTicksPerSlot) {
   MMN_REQUIRE(max_delay_slots >= 1, "max_delay_slots must be >= 1");
-  const NodeId n = g.num_nodes();
-  views_.resize(n);
+  const NodeId n = core_.num_nodes();
   last_write_slot_.assign(n, static_cast<std::uint64_t>(-1));
-  rngs_.reserve(n);
-  Rng root(seed);
-  for (NodeId v = 0; v < n; ++v) {
-    LocalView& view = views_[v];
-    view.self = v;
-    view.n = n;
-    for (const EdgeRef& e : g.neighbors(v)) {
-      view.links.push_back(Neighbor{e.to, e.id, e.weight});
-    }
-    rngs_.push_back(root.fork(v));
-  }
   processes_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    processes_.push_back(factory(views_[v]));
+    processes_.push_back(factory(core_.view(v)));
     MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
   }
 }
@@ -100,20 +90,20 @@ Metrics AsyncEngine::run(std::uint64_t max_slots) {
     // Deliver every message that arrives during the slot in progress, then
     // resolve the slot at its boundary and fan the outcome out to all nodes.
     deliver_until((slot_index_ + 1) * kTicksPerSlot);
-    const SlotObservation obs = channel_.resolve(metrics_);
-    ++metrics_.rounds;
+    const SlotObservation obs = core_.channel().resolve(core_.metrics());
+    ++core_.metrics().rounds;
     ++slot_index_;
     for (NodeId v = 0; v < processes_.size(); ++v) {
       Context ctx(*this, v);
       processes_[v]->on_slot(obs, ctx);
     }
-    if (all_finished() && pending_.empty() && channel_.writers() == 0) {
-      return metrics_;
+    if (all_finished() && pending_.empty() && core_.channel().writers() == 0) {
+      return core_.metrics();
     }
   }
   MMN_ASSERT(false, "async protocol did not terminate within " +
                         std::to_string(max_slots) + " slots");
-  return metrics_;  // unreachable
+  return core_.metrics();  // unreachable
 }
 
 }  // namespace mmn::sim

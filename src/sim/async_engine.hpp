@@ -13,6 +13,12 @@
 // slot), on_slot fires at every slot boundary with the outcome of the slot
 // that just ended.  The busy-tone synchronizer (core/synchronizer.hpp) runs
 // synchronous Processes on top of this engine.
+//
+// The engine is the tick-driven stepping policy over sim::RuntimeCore: the
+// views, RNG streams, channel, and metrics all live in the shared core —
+// identical state to the synchronous engine — while the delivery queue and
+// slot clock are the policy here.  Event-driven delivery is inherently
+// order-dependent, so this policy always steps serially.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +28,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
-#include "sim/channel.hpp"
-#include "sim/engine.hpp"
+#include "sim/runtime_core.hpp"
 #include "support/metrics.hpp"
-#include "support/rng.hpp"
 
 namespace mmn::sim {
 
@@ -101,14 +105,11 @@ class AsyncEngine {
   bool all_finished() const;
   void deliver_until(std::uint64_t tick);
 
-  std::vector<LocalView> views_;
+  RuntimeCore core_;
   std::vector<std::unique_ptr<AsyncProcess>> processes_;
-  std::vector<Rng> rngs_;
   std::priority_queue<PendingMessage, std::vector<PendingMessage>,
                       std::greater<>>
       pending_;
-  Channel channel_;
-  Metrics metrics_;
   std::vector<std::uint64_t> last_write_slot_;  // per-node write dedup
   std::uint64_t now_tick_ = 0;
   std::uint64_t slot_index_ = 0;

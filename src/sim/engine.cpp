@@ -7,70 +7,69 @@
 
 namespace mmn::sim {
 
+/// Stages every externally visible effect into the shard's buffer; the core
+/// commits shards in ascending order, so the trace is scheduler-independent.
 class Engine::Context final : public NodeContext {
  public:
-  Context(Engine& engine, NodeId v)
-      : engine_(engine),
-        view_(engine.views_[v]),
-        inbox_(engine.inbox_[v]),
-        rng_(engine.rngs_[v]) {}
+  Context(RuntimeCore& core, ShardBuffer& shard, NodeId v)
+      : core_(core),
+        shard_(shard),
+        view_(core.view(v)),
+        inbox_(core.inbox(v)),
+        rng_(core.rng(v)) {}
 
-  std::uint64_t round() const override { return engine_.round_; }
+  std::uint64_t round() const override { return core_.round(); }
   const LocalView& view() const override { return view_; }
   Rng& rng() override { return rng_; }
-  const std::vector<Received>& inbox() const override { return inbox_; }
-  const SlotObservation& slot() const override { return engine_.slot_; }
+  std::span<const Received> inbox() const override { return inbox_; }
+  const SlotObservation& slot() const override { return core_.slot(); }
 
   void send(EdgeId edge, const Packet& packet) override {
     const int idx = view_.link_index(edge);
     MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
     const Neighbor& nb = view_.links[static_cast<std::size_t>(idx)];
-    engine_.next_inbox_[nb.id].push_back(Received{view_.self, edge, packet});
-    ++engine_.metrics_.p2p_messages;
+    shard_.outbox.push_back(Outgoing{nb.id, Received{view_.self, edge, packet}});
+    ++shard_.p2p_sent;
     sent_message_ = true;
   }
 
   void channel_write(const Packet& packet) override {
     MMN_REQUIRE(!wrote_channel_, "at most one channel write per node per slot");
     wrote_channel_ = true;
-    engine_.channel_.write(view_.self, packet);
+    shard_.channel_writes.push_back(ChannelWrite{view_.self, packet});
   }
 
   bool wrote_channel() const override { return wrote_channel_; }
   bool sent_message() const override { return sent_message_; }
 
  private:
-  Engine& engine_;
+  RuntimeCore& core_;
+  ShardBuffer& shard_;
   const LocalView& view_;
-  const std::vector<Received>& inbox_;
+  std::span<const Received> inbox_;
   Rng& rng_;
   bool wrote_channel_ = false;
   bool sent_message_ = false;
 };
 
 Engine::Engine(const Graph& g, const ProcessFactory& factory,
-               std::uint64_t seed) {
-  const NodeId n = g.num_nodes();
-  views_.resize(n);
-  inbox_.resize(n);
-  next_inbox_.resize(n);
+               std::uint64_t seed)
+    : Engine(g, factory, seed, nullptr) {}
+
+Engine::Engine(const Graph& g, const ProcessFactory& factory,
+               std::uint64_t seed, std::unique_ptr<Scheduler> scheduler)
+    : core_(g, seed, std::move(scheduler)) {
+  const NodeId n = core_.num_nodes();
   processes_.reserve(n);
-  rngs_.reserve(n);
-  Rng root(seed);
+  finished_flag_.reserve(n);
+  // Views are fully built by the core before any factory call: a process may
+  // inspect only its own view, but the vector must not reallocate afterwards.
   for (NodeId v = 0; v < n; ++v) {
-    LocalView& view = views_[v];
-    view.self = v;
-    view.n = n;
-    for (const EdgeRef& e : g.neighbors(v)) {
-      view.links.push_back(Neighbor{e.to, e.id, e.weight});
-    }
-    rngs_.push_back(root.fork(v));
-  }
-  // Views must be fully built before any factory call: a process may inspect
-  // only its own view, but the vector must not reallocate afterwards.
-  for (NodeId v = 0; v < n; ++v) {
-    processes_.push_back(factory(views_[v]));
+    processes_.push_back(factory(core_.view(v)));
     MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
+    const bool done = processes_.back()->finished();
+    finished_flag_.push_back(done ? 1 : 0);
+    if (done) ++finished_count_;
   }
 }
 
@@ -86,25 +85,18 @@ const Process& Engine::process(NodeId v) const {
   return *processes_[v];
 }
 
-bool Engine::all_finished() const {
-  for (const auto& p : processes_) {
-    if (!p->finished()) return false;
-  }
-  return true;
-}
-
 void Engine::run_one_round() {
-  for (NodeId v = 0; v < processes_.size(); ++v) {
-    Context ctx(*this, v);
+  const std::int64_t delta = core_.run_round([this](unsigned s, NodeId v) {
+    Context ctx(core_, core_.shard(s), v);
     processes_[v]->round(ctx);
-  }
-  slot_ = channel_.resolve(metrics_);
-  for (NodeId v = 0; v < processes_.size(); ++v) {
-    inbox_[v].clear();
-    std::swap(inbox_[v], next_inbox_[v]);
-  }
-  ++round_;
-  ++metrics_.rounds;
+    const char done = processes_[v]->finished() ? 1 : 0;
+    if (done != finished_flag_[v]) {
+      finished_flag_[v] = done;
+      core_.shard(s).finished_delta += done ? 1 : -1;
+    }
+  });
+  finished_count_ = static_cast<NodeId>(
+      static_cast<std::int64_t>(finished_count_) + delta);
 }
 
 bool Engine::step(std::uint64_t rounds) {
@@ -119,12 +111,19 @@ Metrics Engine::run(std::uint64_t max_rounds) {
   const bool done = step(max_rounds);
   MMN_ASSERT(done, "protocol did not terminate within " +
                        std::to_string(max_rounds) + " rounds");
-  return metrics_;
+  return core_.metrics();
 }
 
 Metrics run_network(const Graph& g, const ProcessFactory& factory,
                     std::uint64_t seed, std::uint64_t max_rounds) {
   Engine engine(g, factory, seed);
+  return engine.run(max_rounds);
+}
+
+Metrics run_network(const Graph& g, const ProcessFactory& factory,
+                    std::uint64_t seed, std::uint64_t max_rounds,
+                    std::unique_ptr<Scheduler> scheduler) {
+  Engine engine(g, factory, seed, std::move(scheduler));
   return engine.run(max_rounds);
 }
 

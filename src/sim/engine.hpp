@@ -9,103 +9,37 @@
 // whatever arrives over the two media.  Every run is deterministic given the
 // seed; per-node RNG streams are forked from it.
 //
+// The engine is a thin stepping policy over sim::RuntimeCore, which owns the
+// substrate (views, RNGs, channel, metrics, flat message arena); see
+// sim/runtime_core.hpp.  Node execution within a round is delegated to a
+// Scheduler — serial by default, or an std::thread pool that shards the node
+// set; both produce bit-identical results for the same seed
+// (sim/scheduler.hpp).  Termination is detected incrementally: the engine
+// maintains a finished-node count from per-round deltas instead of scanning
+// every process before every round.
+//
 // NodeContext is an interface so the same Process can also run on the
 // asynchronous engine underneath the busy-tone synchronizer of Section 7.1
 // (see core/synchronizer.hpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
-#include "sim/channel.hpp"
-#include "sim/message.hpp"
+#include "sim/runtime_core.hpp"
 #include "support/metrics.hpp"
-#include "support/rng.hpp"
 
 namespace mmn::sim {
 
-/// One incident link as known locally by a node.
-struct Neighbor {
-  NodeId id = kNoNode;  ///< the node on the other end
-  EdgeId edge = kNoEdge;
-  Weight weight = 0;
-};
-
-/// A node's a-priori knowledge: its id, its links sorted by ascending weight,
-/// and the network size n (assumed known, Section 2; Section 7.3/7.4 shows
-/// how to compute/estimate it — see core/size.hpp).
-struct LocalView {
-  NodeId self = kNoNode;
-  NodeId n = 0;
-  std::vector<Neighbor> links;  ///< ascending weight
-
-  /// Index into `links` of the given edge, or -1.
-  int link_index(EdgeId edge) const {
-    for (std::size_t i = 0; i < links.size(); ++i) {
-      if (links[i].edge == edge) return static_cast<int>(i);
-    }
-    return -1;
-  }
-};
-
-/// A point-to-point message as received.
-struct Received {
-  NodeId from = kNoNode;
-  EdgeId via = kNoEdge;
-  Packet packet;
-};
-
-/// Per-round API handed to a Process.  All sends happen "this round" and are
-/// delivered next round; at most one channel write per round.
-class NodeContext {
- public:
-  virtual ~NodeContext() = default;
-
-  virtual std::uint64_t round() const = 0;
-  virtual const LocalView& view() const = 0;
-  virtual Rng& rng() = 0;
-
-  /// Messages delivered this round.
-  virtual const std::vector<Received>& inbox() const = 0;
-
-  /// The outcome of the previous round's channel slot.
-  virtual const SlotObservation& slot() const = 0;
-
-  /// Sends a packet over one of this node's incident links.
-  virtual void send(EdgeId edge, const Packet& packet) = 0;
-
-  /// Writes to the channel slot of the current round (at most once).
-  virtual void channel_write(const Packet& packet) = 0;
-
-  /// True if this node already wrote to the channel this round.
-  virtual bool wrote_channel() const = 0;
-
-  /// True if this node sent at least one point-to-point message this round.
-  virtual bool sent_message() const = 0;
-
-  NodeId self() const { return view().self; }
-};
-
-/// A node program.  round() is invoked exactly once per simulated round.
-class Process {
- public:
-  virtual ~Process() = default;
-
-  virtual void round(NodeContext& ctx) = 0;
-
-  /// The engine stops once every process reports finished.
-  virtual bool finished() const = 0;
-};
-
-using ProcessFactory = std::function<std::unique_ptr<Process>(const LocalView&)>;
-
 class Engine {
  public:
-  /// Builds the network: one process per node of g.
+  /// Builds the network: one process per node of g.  The default scheduler
+  /// is serial; pass make_scheduler(threads) to shard rounds over a pool.
   Engine(const Graph& g, const ProcessFactory& factory, std::uint64_t seed);
+  Engine(const Graph& g, const ProcessFactory& factory, std::uint64_t seed,
+         std::unique_ptr<Scheduler> scheduler);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -118,30 +52,34 @@ class Engine {
   /// Runs at most `rounds` additional rounds; returns true if all finished.
   bool step(std::uint64_t rounds);
 
-  const Metrics& metrics() const { return metrics_; }
+  const Metrics& metrics() const { return core_.metrics(); }
 
+  /// Direct access to a node's process (for reading results and tests).
+  /// Mutating a process so that finished() changes outside of round() breaks
+  /// the engine's incrementally maintained finished count — finished() must
+  /// only change inside round() calls.
   Process& process(NodeId v);
   const Process& process(NodeId v) const;
-  NodeId num_nodes() const { return static_cast<NodeId>(processes_.size()); }
+  NodeId num_nodes() const { return core_.num_nodes(); }
 
  private:
   class Context;
-  bool all_finished() const;
+  bool all_finished() const { return finished_count_ == core_.num_nodes(); }
   void run_one_round();
 
-  std::vector<LocalView> views_;
+  RuntimeCore core_;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<Rng> rngs_;
-  std::vector<std::vector<Received>> inbox_;       // delivered this round
-  std::vector<std::vector<Received>> next_inbox_;  // being filled for next
-  Channel channel_;
-  SlotObservation slot_;  // outcome of the previous round's slot
-  Metrics metrics_;
-  std::uint64_t round_ = 0;
+  std::vector<char> finished_flag_;  // per node; char: shard-safe writes
+  NodeId finished_count_ = 0;
 };
 
 /// Convenience: builds the engine, runs to completion, returns metrics.
 Metrics run_network(const Graph& g, const ProcessFactory& factory,
                     std::uint64_t seed, std::uint64_t max_rounds);
+
+/// As above, under the given scheduler.
+Metrics run_network(const Graph& g, const ProcessFactory& factory,
+                    std::uint64_t seed, std::uint64_t max_rounds,
+                    std::unique_ptr<Scheduler> scheduler);
 
 }  // namespace mmn::sim

@@ -1,0 +1,91 @@
+#include "sim/runtime_core.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mmn::sim {
+
+void LocalView::finalize() {
+  edge_index_.clear();
+  edge_index_.reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    edge_index_.emplace(links[i].edge, static_cast<std::uint32_t>(i));
+  }
+}
+
+void MessageArena::reset(NodeId n) {
+  n_ = n;
+  buf_.clear();
+  next_buf_.clear();
+  offsets_.assign(n_ + 1, 0);
+  next_offsets_.assign(n_ + 1, 0);
+  cursor_.assign(n_, 0);
+}
+
+void MessageArena::flip(std::vector<ShardBuffer>& shards) {
+  // Count per destination, over all shards.
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+  std::size_t total = 0;
+  for (const ShardBuffer& sb : shards) {
+    for (const Outgoing& o : sb.outbox) ++cursor_[o.to];
+    total += sb.outbox.size();
+  }
+  // Exclusive prefix sums become the per-node spans of the back buffer.
+  next_offsets_[0] = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    next_offsets_[v + 1] = next_offsets_[v] + cursor_[v];
+    cursor_[v] = next_offsets_[v];
+  }
+  next_buf_.resize(total);
+  // Stable scatter: shards ascend, each outbox in send order — together the
+  // exact serial send order, so inbox contents are scheduler-independent.
+  for (ShardBuffer& sb : shards) {
+    for (Outgoing& o : sb.outbox) next_buf_[cursor_[o.to]++] = std::move(o.msg);
+    sb.outbox.clear();
+  }
+  buf_.swap(next_buf_);
+  offsets_.swap(next_offsets_);
+}
+
+RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
+                         std::unique_ptr<Scheduler> scheduler)
+    : scheduler_(scheduler ? std::move(scheduler)
+                           : std::make_unique<SerialScheduler>()) {
+  const NodeId n = g.num_nodes();
+  views_.resize(n);
+  rngs_.reserve(n);
+  Rng root(seed);
+  for (NodeId v = 0; v < n; ++v) {
+    LocalView& view = views_[v];
+    view.self = v;
+    view.n = n;
+    for (const EdgeRef& e : g.neighbors(v)) {
+      view.links.push_back(Neighbor{e.to, e.id, e.weight});
+    }
+    view.finalize();
+    rngs_.push_back(root.fork(v));
+  }
+  shards_.resize(scheduler_->shards());
+  arena_.reset(n);
+}
+
+std::int64_t RuntimeCore::run_round(const Scheduler::NodeFn& fn) {
+  scheduler_->for_each_node(num_nodes(), fn);
+  std::int64_t finished_delta = 0;
+  for (ShardBuffer& sb : shards_) {
+    for (const ChannelWrite& w : sb.channel_writes) {
+      channel_.write(w.node, w.packet);
+    }
+    metrics_.p2p_messages += sb.p2p_sent;
+    finished_delta += sb.finished_delta;
+  }
+  slot_ = channel_.resolve(metrics_);
+  arena_.flip(shards_);  // also clears the shard outboxes
+  for (ShardBuffer& sb : shards_) sb.clear_round();
+  ++round_;
+  ++metrics_.rounds;
+  return finished_delta;
+}
+
+}  // namespace mmn::sim

@@ -1,0 +1,219 @@
+// The shared execution substrate of the multimedia-network model.
+//
+// Both engines — the synchronous lockstep Engine and the tick-driven
+// AsyncEngine (Section 7) — simulate the same object: n nodes with local
+// views, per-node RNG streams forked from one seed, point-to-point links,
+// and one shared collision channel whose slot costs one time unit.
+// RuntimeCore owns that substrate exactly once; the engines are thin
+// stepping policies over it.
+//
+// Message delivery uses a double-buffered flat arena: every round's
+// deliveries live in ONE contiguous Received buffer with per-node offset
+// spans, rebuilt by a stable counting sort from the per-shard send buffers.
+// This replaces per-node inbox vectors and their per-round allocation/clear
+// churn, and it is what makes parallel execution deterministic: shards are
+// contiguous ascending node ranges, so concatenating their buffers in shard
+// order reproduces the serial send order bit for bit (see sim/scheduler.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/channel.hpp"
+#include "sim/message.hpp"
+#include "sim/scheduler.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace mmn::sim {
+
+/// One incident link as known locally by a node.
+struct Neighbor {
+  NodeId id = kNoNode;  ///< the node on the other end
+  EdgeId edge = kNoEdge;
+  Weight weight = 0;
+};
+
+/// A node's a-priori knowledge: its id, its links sorted by ascending weight,
+/// and the network size n (assumed known, Section 2; Section 7.3/7.4 shows
+/// how to compute/estimate it — see core/size.hpp).
+struct LocalView {
+  NodeId self = kNoNode;
+  NodeId n = 0;
+  std::vector<Neighbor> links;  ///< ascending weight
+
+  /// Index into `links` of the given edge, or -1.  O(1) once finalize() ran
+  /// (RuntimeCore finalizes every view at construction); hand-built views
+  /// fall back to a linear scan.
+  int link_index(EdgeId edge) const {
+    if (!edge_index_.empty()) {
+      const auto it = edge_index_.find(edge);
+      return it == edge_index_.end() ? -1 : static_cast<int>(it->second);
+    }
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (links[i].edge == edge) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Builds the edge -> link-slot lookup; call once after `links` is final.
+  void finalize();
+
+ private:
+  std::unordered_map<EdgeId, std::uint32_t> edge_index_;
+};
+
+/// A point-to-point message as received.
+struct Received {
+  NodeId from = kNoNode;
+  EdgeId via = kNoEdge;
+  Packet packet;
+};
+
+/// Per-round API handed to a Process.  All sends happen "this round" and are
+/// delivered next round; at most one channel write per round.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  virtual std::uint64_t round() const = 0;
+  virtual const LocalView& view() const = 0;
+  virtual Rng& rng() = 0;
+
+  /// Messages delivered this round (a span into the round's flat arena;
+  /// valid only for the duration of the round call).
+  virtual std::span<const Received> inbox() const = 0;
+
+  /// The outcome of the previous round's channel slot.
+  virtual const SlotObservation& slot() const = 0;
+
+  /// Sends a packet over one of this node's incident links.
+  virtual void send(EdgeId edge, const Packet& packet) = 0;
+
+  /// Writes to the channel slot of the current round (at most once).
+  virtual void channel_write(const Packet& packet) = 0;
+
+  /// True if this node already wrote to the channel this round.
+  virtual bool wrote_channel() const = 0;
+
+  /// True if this node sent at least one point-to-point message this round.
+  virtual bool sent_message() const = 0;
+
+  NodeId self() const { return view().self; }
+};
+
+/// A node program.  round() is invoked exactly once per simulated round.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void round(NodeContext& ctx) = 0;
+
+  /// The engine stops once every process reports finished.
+  virtual bool finished() const = 0;
+};
+
+using ProcessFactory = std::function<std::unique_ptr<Process>(const LocalView&)>;
+
+/// A point-to-point send staged for end-of-round delivery.
+struct Outgoing {
+  NodeId to = kNoNode;
+  Received msg;
+};
+
+/// A channel write staged for end-of-round resolution.
+struct ChannelWrite {
+  NodeId node = kNoNode;
+  Packet packet;
+};
+
+/// Externally visible effects of one shard's nodes during one round.  Nodes
+/// of one shard run sequentially, so no synchronization is needed; the core
+/// merges shards in ascending order after the round barrier.  Cache-line
+/// aligned: adjacent shards are written by different worker threads on the
+/// hottest path (every send of every node), so they must not share a line.
+struct alignas(64) ShardBuffer {
+  std::vector<Outgoing> outbox;
+  std::vector<ChannelWrite> channel_writes;
+  std::uint64_t p2p_sent = 0;
+  std::int64_t finished_delta = 0;  ///< nodes that toggled finished()
+
+  void clear_round() {
+    outbox.clear();
+    channel_writes.clear();
+    p2p_sent = 0;
+    finished_delta = 0;
+  }
+};
+
+/// Double-buffered flat delivery buffer: all messages delivered in the
+/// current round, grouped by destination, with per-node offset spans.
+class MessageArena {
+ public:
+  void reset(NodeId n);
+
+  std::span<const Received> inbox(NodeId v) const {
+    return {buf_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Counting-sorts the staged sends of all shards (ascending shard order,
+  /// preserving per-shard send order — i.e. exactly the serial send order)
+  /// into the back buffer, clears the shard outboxes, and flips buffers.
+  void flip(std::vector<ShardBuffer>& shards);
+
+ private:
+  NodeId n_ = 0;
+  std::vector<Received> buf_;       // delivered this round
+  std::vector<Received> next_buf_;  // being filled for next round
+  std::vector<std::uint32_t> offsets_;       // n_ + 1 spans into buf_
+  std::vector<std::uint32_t> next_offsets_;  // n_ + 1 spans into next_buf_
+  std::vector<std::uint32_t> cursor_;        // scatter cursors, n_
+};
+
+/// The substrate both engines execute on.
+class RuntimeCore {
+ public:
+  /// Builds views (finalized), per-node RNG streams forked from `seed`, the
+  /// channel, metrics, and the message arena.  A null scheduler means serial.
+  RuntimeCore(const Graph& g, std::uint64_t seed,
+              std::unique_ptr<Scheduler> scheduler = nullptr);
+
+  RuntimeCore(const RuntimeCore&) = delete;
+  RuntimeCore& operator=(const RuntimeCore&) = delete;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(views_.size()); }
+  const LocalView& view(NodeId v) const { return views_[v]; }
+  Rng& rng(NodeId v) { return rngs_[v]; }
+  Channel& channel() { return channel_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const SlotObservation& slot() const { return slot_; }
+  std::uint64_t round() const { return round_; }
+  std::span<const Received> inbox(NodeId v) const { return arena_.inbox(v); }
+  Scheduler& scheduler() { return *scheduler_; }
+  ShardBuffer& shard(unsigned s) { return shards_[s]; }
+
+  /// One lockstep round: runs `fn` over every node under the scheduler, then
+  /// commits deterministically — channel writes and p2p sends merged in
+  /// ascending shard order, slot resolved, arena flipped, round advanced.
+  /// Returns the net change in the number of finished nodes.
+  std::int64_t run_round(const Scheduler::NodeFn& fn);
+
+ private:
+  std::vector<LocalView> views_;
+  std::vector<Rng> rngs_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<ShardBuffer> shards_;
+  MessageArena arena_;
+  Channel channel_;
+  SlotObservation slot_;  // outcome of the previous round's slot
+  Metrics metrics_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace mmn::sim

@@ -1,0 +1,98 @@
+// Round schedulers: how the per-node work of one lockstep round is executed.
+//
+// A Scheduler maps the node set [0, n) onto `shards()` contiguous ascending
+// ranges and invokes a callback once per node, each shard covering its range
+// in ascending node order.  Node code stages all its externally visible
+// effects (sends, channel writes, metric counts) into a per-shard buffer;
+// RuntimeCore merges the buffers in ascending shard order after the barrier.
+// Because shard-major concatenation of ascending per-shard ranges is exactly
+// ascending node order, SerialScheduler and ParallelScheduler produce
+// bit-identical traces — same inbox orders, same channel outcomes, same
+// Metrics — for the same seed.
+//
+// SerialScheduler   — one shard, the caller's thread (the seed behavior).
+// ParallelScheduler — a persistent std::thread pool; one shard per thread,
+//                     one generation per round, barrier on completion.
+//                     Exceptions thrown by node code are captured and
+//                     rethrown on the calling thread (lowest shard first).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mmn::sim {
+
+class Scheduler {
+ public:
+  /// Invoked once per node; `shard` identifies the staging buffer the node's
+  /// effects must go to.  Must be safe to call concurrently for nodes of
+  /// *different* shards (nodes of one shard run sequentially).
+  using NodeFn = std::function<void(unsigned shard, NodeId node)>;
+
+  virtual ~Scheduler() = default;
+
+  virtual unsigned shards() const = 0;
+
+  /// Runs fn for every node in [0, n); returns once all nodes ran (barrier).
+  virtual void for_each_node(NodeId n, const NodeFn& fn) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Contiguous node range [first, last) owned by `shard` of `shards`.
+  static std::pair<NodeId, NodeId> shard_range(NodeId n, unsigned shard,
+                                               unsigned shards) {
+    const std::uint64_t nn = n;
+    return {static_cast<NodeId>(nn * shard / shards),
+            static_cast<NodeId>(nn * (shard + 1) / shards)};
+  }
+};
+
+class SerialScheduler final : public Scheduler {
+ public:
+  unsigned shards() const override { return 1; }
+  void for_each_node(NodeId n, const NodeFn& fn) override;
+  const char* name() const override { return "serial"; }
+};
+
+class ParallelScheduler final : public Scheduler {
+ public:
+  /// num_threads >= 1 worker threads; one shard each.
+  explicit ParallelScheduler(unsigned num_threads);
+  ~ParallelScheduler() override;
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  unsigned shards() const override { return num_threads_; }
+  void for_each_node(NodeId n, const NodeFn& fn) override;
+  const char* name() const override { return "parallel"; }
+
+ private:
+  void worker(unsigned shard);
+
+  unsigned num_threads_;
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  NodeId round_n_ = 0;
+  const NodeFn* round_fn_ = nullptr;
+  bool stopping_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// threads <= 1 gives the serial scheduler, otherwise a parallel one.
+std::unique_ptr<Scheduler> make_scheduler(unsigned threads);
+
+}  // namespace mmn::sim

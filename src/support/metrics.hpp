@@ -26,6 +26,10 @@ struct Metrics {
 
   Metrics& operator+=(const Metrics& other);
 
+  /// Field-wise equality; the scheduler-equivalence suite asserts serial and
+  /// parallel runs agree bit for bit.
+  bool operator==(const Metrics& other) const = default;
+
   std::string to_string() const;
 };
 

@@ -61,4 +61,54 @@ void Table::print(std::ostream& os) const {
   rule();
 }
 
+namespace {
+
+bool is_json_number(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  bool digit = false, dot = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] >= '0' && s[i] <= '9') {
+      digit = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digit;
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  os << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ", ";
+      write_json_string(os, headers_[c]);
+      os << ": ";
+      const std::string& v = c < rows_[r].size() ? rows_[r][c] : std::string{};
+      if (is_json_number(v)) {
+        os << v;
+      } else {
+        write_json_string(os, v);
+      }
+    }
+    os << "}";
+  }
+  os << "\n]";
+}
+
 }  // namespace mmn

@@ -25,6 +25,11 @@ class Table {
   /// Writes the table with aligned columns.
   void print(std::ostream& os) const;
 
+  /// Writes the table as a JSON array of row objects keyed by header.
+  /// Cells that parse as numbers are emitted unquoted so the output is
+  /// machine-readable without re-parsing strings.
+  void write_json(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,64 @@
+// Tests for the scenario registry: registration invariants, lookup, and
+// deterministic reruns.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+
+namespace mmn::scenario {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinTableHasAtLeastSixScenarios) {
+  register_builtin();
+  register_builtin();  // idempotent
+  const auto& all = Registry::instance().all();
+  EXPECT_GE(all.size(), 6u);
+  for (const Scenario& s : all) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.sweep_n.empty()) << s.name;
+    EXPECT_NE(s.make_graph, nullptr) << s.name;
+    EXPECT_NE(s.make_factory, nullptr) << s.name;
+  }
+}
+
+TEST(ScenarioRegistry, FindByName) {
+  register_builtin();
+  const Scenario* mst = Registry::instance().find("mst/random");
+  ASSERT_NE(mst, nullptr);
+  EXPECT_EQ(mst->graph_family, "random");
+  EXPECT_EQ(Registry::instance().find("no/such/scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, DuplicateNameRejected) {
+  register_builtin();
+  Scenario dup = *Registry::instance().find("mst/random");
+  EXPECT_THROW(Registry::instance().add(dup), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, RunsAreDeterministicPerSeed) {
+  register_builtin();
+  const Scenario* s = Registry::instance().find("global/min/rand/ring");
+  ASSERT_NE(s, nullptr);
+  const RunResult a = run(*s, 64, 11);
+  const RunResult b = run(*s, 64, 11);
+  EXPECT_TRUE(a.metrics == b.metrics);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.realized_n, 64u);
+  const RunResult c = run(*s, 64, 12);
+  // A different seed changes the randomized schedule (metrics), never the
+  // computed global value for the same inputs.
+  EXPECT_EQ(a.digest, c.digest);
+}
+
+TEST(ScenarioRegistry, GridFamilyReportsRealizedSize) {
+  register_builtin();
+  const Scenario* s = Registry::instance().find("global/min/p2p/grid");
+  ASSERT_NE(s, nullptr);
+  const RunResult r = run(*s, 60, 7);  // rounds to an 8x8 grid
+  EXPECT_EQ(r.realized_n, 64u);
+  EXPECT_GT(r.metrics.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace mmn::scenario

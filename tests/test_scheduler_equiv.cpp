@@ -1,0 +1,182 @@
+// Scheduler equivalence: SerialScheduler and ParallelScheduler must produce
+// bit-identical Metrics and identical per-node results for the same seed.
+//
+// The guarantee rests on three mechanisms (sim/scheduler.hpp,
+// sim/runtime_core.hpp): shards are contiguous ascending node ranges, every
+// externally visible effect is staged per shard and merged in ascending
+// shard order (= serial node order), and each node draws only from its own
+// forked RNG stream.  The suite exercises the heaviest protocols in the
+// library — MST, both partitions, and the global-function algorithms — on
+// random graphs across thread counts and seeds, plus a delivery-order
+// microtest that pins down the arena's inbox ordering.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mst.hpp"
+#include "core/partition.hpp"
+#include "core/partition_det.hpp"
+#include "core/partition_rand.hpp"
+#include "graph/generators.hpp"
+#include "scenario/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mmn {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {2, 4, 8};
+
+// --- scenario-level equivalence ------------------------------------------
+//
+// Every registered scenario (MST, partitions, global functions, baselines,
+// size computation) runs serial vs parallel; Metrics and the per-node result
+// digest must match exactly.
+
+TEST(SchedulerEquivalence, AllScenariosMatchSerialAcrossThreadCounts) {
+  scenario::register_builtin();
+  const auto& scenarios = scenario::Registry::instance().all();
+  ASSERT_GE(scenarios.size(), 6u);
+  for (const scenario::Scenario& s : scenarios) {
+    const NodeId n = s.sweep_n.front();
+    const scenario::RunResult serial = scenario::run(s, n, s.default_seed);
+    for (unsigned threads : kThreadCounts) {
+      const scenario::RunResult parallel = scenario::run(
+          s, n, s.default_seed, sim::make_scheduler(threads));
+      EXPECT_TRUE(serial.metrics == parallel.metrics)
+          << s.name << " with " << threads << " threads: metrics diverged\n"
+          << "serial:   " << serial.metrics.to_string() << "\n"
+          << "parallel: " << parallel.metrics.to_string();
+      EXPECT_EQ(serial.digest, parallel.digest)
+          << s.name << " with " << threads
+          << " threads: per-node results diverged";
+    }
+  }
+}
+
+// --- per-node state equivalence ------------------------------------------
+//
+// Digest equality could in principle mask compensating differences; these
+// compare raw per-node outputs field by field.
+
+TEST(SchedulerEquivalence, MstPerNodeEdgesIdentical) {
+  for (std::uint64_t seed : {3u, 11u, 42u}) {
+    const Graph g = random_connected(96, 192, seed);
+    const auto factory = [](const sim::LocalView& v) {
+      return std::make_unique<MstProcess>(v);
+    };
+    sim::Engine serial(g, factory, seed);
+    serial.run(200'000'000);
+    for (unsigned threads : kThreadCounts) {
+      sim::Engine parallel(g, factory, seed, sim::make_scheduler(threads));
+      parallel.run(200'000'000);
+      EXPECT_TRUE(serial.metrics() == parallel.metrics()) << threads;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        const auto& a = static_cast<const MstProcess&>(serial.process(v));
+        const auto& b = static_cast<const MstProcess&>(parallel.process(v));
+        EXPECT_EQ(a.mst_edges(), b.mst_edges()) << "node " << v;
+        EXPECT_EQ(a.phases_used(), b.phases_used()) << "node " << v;
+      }
+    }
+  }
+}
+
+template <typename Process, typename Config>
+void expect_partition_equivalent(const Config& config, std::uint64_t seed) {
+  const Graph g = random_connected(80, 160, seed);
+  const auto factory = [&config](const sim::LocalView& v) {
+    return std::make_unique<Process>(v, config);
+  };
+  sim::Engine serial(g, factory, seed);
+  serial.run(200'000'000);
+  for (unsigned threads : kThreadCounts) {
+    sim::Engine parallel(g, factory, seed, sim::make_scheduler(threads));
+    parallel.run(200'000'000);
+    EXPECT_TRUE(serial.metrics() == parallel.metrics()) << threads;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& a = dynamic_cast<const FragmentState&>(serial.process(v));
+      const auto& b = dynamic_cast<const FragmentState&>(parallel.process(v));
+      EXPECT_EQ(a.fragment_id(), b.fragment_id()) << "node " << v;
+      EXPECT_EQ(a.tree_parent(), b.tree_parent()) << "node " << v;
+      EXPECT_EQ(a.tree_parent_edge(), b.tree_parent_edge()) << "node " << v;
+    }
+  }
+}
+
+TEST(SchedulerEquivalence, PartitionDetPerNodeStateIdentical) {
+  expect_partition_equivalent<PartitionDetProcess>(PartitionDetConfig{}, 5);
+}
+
+TEST(SchedulerEquivalence, PartitionRandPerNodeStateIdentical) {
+  // The randomized partition consumes per-node RNG streams heavily; identical
+  // results across schedulers prove streams are never shared or reordered.
+  expect_partition_equivalent<PartitionRandProcess>(PartitionRandConfig{}, 5);
+}
+
+// --- delivery-order microtest --------------------------------------------
+
+/// Every node sends its id to node 0 in round 0; node 0 records its inbox.
+class FanInProcess final : public sim::Process {
+ public:
+  explicit FanInProcess(const sim::LocalView& view) : view_(view) {}
+
+  void round(sim::NodeContext& ctx) override {
+    if (ctx.round() == 0 && view_.self != 0) {
+      // On a complete graph some link reaches node 0.
+      for (const sim::Neighbor& nb : view_.links) {
+        if (nb.id == 0) {
+          ctx.send(nb.edge, sim::Packet(1, {sim::Word{view_.self}}));
+          break;
+        }
+      }
+    }
+    for (const sim::Received& r : ctx.inbox()) {
+      senders_.push_back(r.from);
+    }
+    done_ = ctx.round() >= 1;
+  }
+
+  bool finished() const override { return done_; }
+
+  const sim::LocalView& view_;
+  std::vector<NodeId> senders_;
+  bool done_ = false;
+};
+
+TEST(SchedulerEquivalence, InboxOrderIsAscendingSenderOrderEverywhere) {
+  const Graph g = complete(17, 3);
+  const auto factory = [](const sim::LocalView& v) {
+    return std::make_unique<FanInProcess>(v);
+  };
+  std::vector<NodeId> expected;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) expected.push_back(v);
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    sim::Engine engine(g, factory, 3, sim::make_scheduler(threads));
+    engine.run(10);
+    const auto& p0 = static_cast<const FanInProcess&>(engine.process(0));
+    EXPECT_EQ(p0.senders_, expected) << threads << " threads";
+  }
+}
+
+TEST(SchedulerEquivalence, ShardRangesPartitionTheNodeSet) {
+  for (unsigned shards : {1u, 2u, 3u, 8u, 16u}) {
+    for (NodeId n : {0u, 1u, 5u, 16u, 97u}) {
+      NodeId covered = 0;
+      NodeId prev_last = 0;
+      for (unsigned s = 0; s < shards; ++s) {
+        const auto [first, last] = sim::Scheduler::shard_range(n, s, shards);
+        EXPECT_EQ(first, prev_last);
+        EXPECT_LE(first, last);
+        covered += last - first;
+        prev_last = last;
+      }
+      EXPECT_EQ(prev_last, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmn
