@@ -7,6 +7,12 @@
 //   * sched/<name>/<n>/t<k>     — the cheapest large scenario under the
 //                                 parallel scheduler at 1/2/4/8 threads
 //                                 (n >= 4096, the parallel-speedup gate);
+//   * ascenario/<name>/<n>      — every channel-free scenario under the
+//                                 asynchronous engine (busy-tone
+//                                 synchronizer), serial scheduler;
+//   * asched/<name>/<n>/t<k>    — the largest channel-free scenario on the
+//                                 async engine's slot-phase scheduler at
+//                                 1/2/4/8 threads;
 //   * async/synchronized/<side> — the asynchronous engine driving a
 //                                 synchronous protocol through the busy-tone
 //                                 synchronizer (Section 7.1);
@@ -48,13 +54,52 @@ void run_scenario(benchmark::State& state, const scenario::Scenario& s,
       static_cast<double>(rounds), benchmark::Counter::kIsRate);
 }
 
+void run_async_scenario(benchmark::State& state, const scenario::Scenario& s,
+                        NodeId n, unsigned threads) {
+  // Like run_scenario: graph generation is untimed setup, the engine build
+  // and run are the measured work.
+  const Graph g = s.make_graph(n, s.default_seed);
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    sim::AsyncEngine engine(
+        g, synchronize(s.make_factory(g)), s.default_seed,
+        s.async_max_delay_slots,
+        threads <= 1 ? nullptr : sim::make_scheduler(threads));
+    slots += engine.run(s.max_rounds).rounds;
+    if (engine.status() != sim::AsyncEngine::RunStatus::kCompleted) {
+      // Don't let a non-terminating config masquerade as a valid number in
+      // the BENCH_*.json perf trajectory.
+      state.SkipWithError(("async slot cap reached: " + s.name).c_str());
+      return;
+    }
+  }
+  state.counters["slots/s"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+
 void register_scenario_sweeps() {
   scenario::register_builtin();
+  const scenario::Scenario* async_scaling = nullptr;
   for (const scenario::Scenario& s : scenario::Registry::instance().all()) {
     for (NodeId n : s.sweep_n) {
       benchmark::RegisterBenchmark(
           ("scenario/" + s.name + "/" + std::to_string(n)).c_str(),
           [&s, n](benchmark::State& state) { run_scenario(state, s, n, 1); });
+    }
+    if (s.channel_free) {
+      // The channel-free scenario with the largest sweep size hosts the
+      // thread sweep (first registered wins ties, so the series is stable
+      // as the registry grows).
+      if (async_scaling == nullptr ||
+          s.sweep_n.back() > async_scaling->sweep_n.back()) {
+        async_scaling = &s;
+      }
+      const NodeId n = s.sweep_n.front();
+      benchmark::RegisterBenchmark(
+          ("ascenario/" + s.name + "/" + std::to_string(n)).c_str(),
+          [&s, n](benchmark::State& state) {
+            run_async_scenario(state, s, n, 1);
+          });
     }
   }
   // Serial-vs-parallel scaling at n >= 4096 on the cheapest large scenario.
@@ -69,6 +114,19 @@ void register_scenario_sweeps() {
               .c_str(),
           [scaling, n, threads](benchmark::State& state) {
             run_scenario(state, *scaling, n, threads);
+          });
+    }
+  }
+  // Async slot-phase scaling: serial vs parallel delivery/fan-out sharding.
+  if (async_scaling != nullptr) {
+    const NodeId n = async_scaling->sweep_n.back();
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      benchmark::RegisterBenchmark(
+          ("asched/" + async_scaling->name + "/" + std::to_string(n) + "/t" +
+           std::to_string(threads))
+              .c_str(),
+          [async_scaling, n, threads](benchmark::State& state) {
+            run_async_scenario(state, *async_scaling, n, threads);
           });
     }
   }
@@ -87,6 +145,10 @@ void BM_SynchronizedAsyncRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::AsyncEngine engine(g, synchronize(factory), 7, 1);
     slots += engine.run(80'000'000).rounds;
+    if (engine.status() != sim::AsyncEngine::RunStatus::kCompleted) {
+      state.SkipWithError("async slot cap reached");
+      return;
+    }
   }
   state.counters["slots/s"] = benchmark::Counter(
       static_cast<double>(slots), benchmark::Counter::kIsRate);

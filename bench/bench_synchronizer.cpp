@@ -5,12 +5,18 @@
 // bound.  Columns: message ratio (the paper's claim: exactly 2x, one ack per
 // message) and slots per simulated round (a constant at unit delay, growing
 // linearly with the delay bound).
+//
+// A second table sweeps the async engine's slot-phase scheduler over thread
+// counts: slots and messages are identical to the serial run by construction
+// (deterministic parallel delivery; see sim/async_engine.hpp), so the
+// `==serial` column must read "yes" in every row.
 #include <memory>
 
 #include "baselines/p2p_global.hpp"
 #include "common.hpp"
 #include "core/synchronizer.hpp"
 #include "graph/generators.hpp"
+#include "sim/scheduler.hpp"
 
 namespace mmn {
 namespace {
@@ -34,6 +40,8 @@ SyncRow run_row(const Graph& g, std::uint32_t delay) {
 
   sim::AsyncEngine async_engine(g, synchronize(factory), 5, delay);
   const Metrics am = async_engine.run(100'000'000);
+  MMN_ASSERT(async_engine.status() == sim::AsyncEngine::RunStatus::kCompleted,
+             "synchronizer run hit the slot cap; overhead row would be bogus");
   row.async_slots = am.rounds;
   row.async_msgs = am.p2p_messages;
   return row;
@@ -68,6 +76,34 @@ int main(int argc, char** argv) {
     }
   }
   out.table("overhead", table);
+
+  // Async slot-phase scheduler sweep: parallel == serial, bit for bit.
+  bench::print_note(
+      "\nslot-phase scheduler sweep (random96, delay<=2): parallel async\n"
+      "runs must reproduce the serial slots/messages exactly.");
+  Table sched_table({"threads", "async_slots", "async_msgs", "==serial"});
+  const Graph g = random_connected(96, 150, 3);
+  P2pGlobalConfig config;
+  config.op = SemigroupOp::kSum;
+  auto factory = [&](const sim::LocalView& v) -> std::unique_ptr<sim::Process> {
+    return std::make_unique<P2pGlobalProcess>(
+        v, config, static_cast<sim::Word>(v.self) + 1);
+  };
+  Metrics serial_metrics;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    sim::AsyncEngine engine(g, synchronize(factory), 5, 2,
+                            sim::make_scheduler(threads));
+    const Metrics m = engine.run(100'000'000);
+    MMN_ASSERT(engine.status() == sim::AsyncEngine::RunStatus::kCompleted,
+               "scheduler sweep run hit the slot cap");
+    if (threads == 1) serial_metrics = m;
+    sched_table.begin_row();
+    sched_table.add(std::uint64_t{threads});
+    sched_table.add(m.rounds);
+    sched_table.add(m.p2p_messages);
+    sched_table.add(std::string(m == serial_metrics ? "yes" : "NO"));
+  }
+  out.table("sched", sched_table);
   out.finish();
   return 0;
 }

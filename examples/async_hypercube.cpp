@@ -60,5 +60,25 @@ int main() {
         result == expected ? "correct" : "WRONG");
     if (result != expected) return 1;
   }
-  return 0;
+
+  // The asynchronous machine's slot phases shard over the same deterministic
+  // scheduler as the synchronous engine: a parallel run reproduces the
+  // serial slot count and message count bit for bit.
+  sim::AsyncEngine serial_machine(cube, synchronize(program), 3, 4);
+  const Metrics serial_metrics = serial_machine.run(10'000'000);
+  sim::AsyncEngine parallel_machine(cube, synchronize(program), 3, 4,
+                                    sim::make_scheduler(8));
+  const Metrics parallel_metrics = parallel_machine.run(10'000'000);
+  if (serial_machine.status() != sim::AsyncEngine::RunStatus::kCompleted ||
+      parallel_machine.status() != sim::AsyncEngine::RunStatus::kCompleted) {
+    std::printf("async rerun hit the slot cap without terminating\n");
+    return 1;
+  }
+  std::printf("\n8-thread async rerun : %llu slots, %llu messages — %s\n",
+              (unsigned long long)parallel_metrics.rounds,
+              (unsigned long long)parallel_metrics.p2p_messages,
+              parallel_metrics == serial_metrics
+                  ? "identical to the serial run"
+                  : "DIVERGED from the serial run");
+  return parallel_metrics == serial_metrics ? 0 : 1;
 }

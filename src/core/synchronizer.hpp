@@ -13,6 +13,14 @@
 //
 // The wrapped protocol must be channel-free (the synchronizer owns the
 // channel); all of the library's local stages qualify.
+//
+// The synchronizer runs under the AsyncEngine's slot-phase execution, whose
+// phases may be sharded over a thread pool: every handler here touches only
+// this node's own state (buffered_, pending_acks_, pulses_, the inner
+// process) and stages all externally visible effects — sends, the busy
+// tone — through the AsyncContext, never mutating shared engine state
+// directly.  That is what keeps parallel asynchronous runs bit-identical to
+// serial ones (see sim/async_engine.hpp).
 #pragma once
 
 #include <cstdint>

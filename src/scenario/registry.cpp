@@ -7,12 +7,15 @@
 
 #include "baselines/broadcast_global.hpp"
 #include "baselines/p2p_global.hpp"
+#include "core/anonymous.hpp"
 #include "core/global_function.hpp"
 #include "core/mst.hpp"
 #include "core/partition_det.hpp"
 #include "core/partition_rand.hpp"
 #include "core/size.hpp"
+#include "core/synchronizer.hpp"
 #include "graph/generators.hpp"
+#include "sim/async_engine.hpp"
 #include "support/check.hpp"
 
 namespace mmn::scenario {
@@ -39,31 +42,53 @@ const Scenario* Registry::find(std::string_view name) const {
 }
 
 RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
-              std::unique_ptr<sim::Scheduler> scheduler) {
+              std::unique_ptr<sim::Scheduler> scheduler, EngineKind engine) {
   const Graph g = s.make_graph(n, seed);
-  sim::Engine engine(g, s.make_factory(g), seed, std::move(scheduler));
   RunResult result;
-  result.metrics = engine.run(s.max_rounds);
   result.realized_n = g.num_nodes();
-  if (s.digest) result.digest = s.digest(engine);
+  if (engine == EngineKind::kSync) {
+    sim::Engine eng(g, s.make_factory(g), seed, std::move(scheduler));
+    result.metrics = eng.run(s.max_rounds);
+    if (s.digest) {
+      result.digest = s.digest(NodeResults{
+          g.num_nodes(),
+          [&eng](NodeId v) -> const sim::Process& { return eng.process(v); }});
+    }
+    return result;
+  }
+  MMN_REQUIRE(s.channel_free,
+              "scenario uses the channel and cannot run under the "
+              "synchronizer on the asynchronous engine");
+  sim::AsyncEngine eng(g, synchronize(s.make_factory(g)), seed,
+                       s.async_max_delay_slots, std::move(scheduler));
+  result.metrics = eng.run(s.max_rounds);
+  result.completed =
+      eng.status() == sim::AsyncEngine::RunStatus::kCompleted;
+  if (s.digest && result.completed) {
+    result.digest = s.digest(NodeResults{
+        g.num_nodes(), [&eng](NodeId v) -> const sim::Process& {
+          return static_cast<const SynchronizerProcess&>(eng.process(v))
+              .inner();
+        }});
+  }
   return result;
 }
 
 namespace {
 
 /// Folds one word per node, node-major — deterministic and comparable
-/// across schedulers because node iteration order is fixed.
+/// across schedulers and engines because node iteration order is fixed.
 template <typename PerNode>
-std::uint64_t fold_nodes(const sim::Engine& engine, PerNode&& per_node) {
+std::uint64_t fold_nodes(const NodeResults& results, PerNode&& per_node) {
   std::uint64_t h = kDigestSeed;
-  for (NodeId v = 0; v < engine.num_nodes(); ++v) {
-    h = digest_mix(h, per_node(engine.process(v), v));
+  for (NodeId v = 0; v < results.n; ++v) {
+    h = digest_mix(h, per_node(results.at(v), v));
   }
   return h;
 }
 
-std::uint64_t fragment_digest(const sim::Engine& engine) {
-  return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+std::uint64_t fragment_digest(const NodeResults& results) {
+  return fold_nodes(results, [](const sim::Process& p, NodeId) {
     const auto& f = dynamic_cast<const FragmentState&>(p);
     return digest_mix(f.fragment_id(),
                       static_cast<std::uint64_t>(f.tree_parent_edge()) + 1);
@@ -74,6 +99,12 @@ Graph square_grid(NodeId n, std::uint64_t seed) {
   const auto side = static_cast<NodeId>(std::max(
       2.0, std::round(std::sqrt(static_cast<double>(n)))));
   return grid(side, side, seed);
+}
+
+Graph hypercube_for(NodeId n, std::uint64_t seed) {
+  std::uint32_t dim = 1;
+  while ((NodeId{1} << (dim + 1)) <= n) ++dim;
+  return hypercube(dim, seed);
 }
 
 void register_all() {
@@ -116,6 +147,23 @@ void register_all() {
       200'000'000});
 
   r.add(Scenario{
+      "partition/anon/random",
+      "Section 7.4 partition with unknown n and anonymous nodes",
+      "random",
+      [](NodeId n, std::uint64_t seed) {
+        return random_connected(n, 2 * n, seed);
+      },
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<AnonymousPartitionProcess>(v);
+        };
+      },
+      fragment_digest,
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
       "mst/random",
       "Section 6 multimedia MST on a random connected graph",
       "random",
@@ -127,8 +175,8 @@ void register_all() {
           return std::make_unique<MstProcess>(v);
         };
       },
-      [](const sim::Engine& engine) {
-        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
           const auto& mst = dynamic_cast<const MstProcess&>(p);
           std::vector<EdgeId> edges = mst.mst_edges();
           std::sort(edges.begin(), edges.end());
@@ -157,8 +205,8 @@ void register_all() {
               v, config, static_cast<sim::Word>(v.self) + 1);
         };
       },
-      [](const sim::Engine& engine) {
-        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
           return static_cast<std::uint64_t>(
               dynamic_cast<const GlobalFunctionProcess&>(p).result());
         });
@@ -181,8 +229,8 @@ void register_all() {
               v, config, static_cast<sim::Word>(v.self) + 1);
         };
       },
-      [](const sim::Engine& engine) {
-        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
           return static_cast<std::uint64_t>(
               dynamic_cast<const GlobalFunctionProcess&>(p).result());
         });
@@ -202,8 +250,8 @@ void register_all() {
               v, SemigroupOp::kSum, static_cast<sim::Word>(v.self) + 1);
         };
       },
-      [](const sim::Engine& engine) {
-        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
           return static_cast<std::uint64_t>(
               dynamic_cast<const BroadcastGlobalProcess&>(p).result());
         });
@@ -213,27 +261,83 @@ void register_all() {
       200'000'000});
 
   r.add(Scenario{
-      "global/min/p2p/grid",
-      "Pure point-to-point baseline folding a min on a square grid",
-      "grid",
-      square_grid,
+      "global/max/tdma/ring",
+      "TDMA channel discipline folding a max on a sparse ring",
+      "ring",
+      [](NodeId n, std::uint64_t seed) { return ring(n, seed); },
       [](const Graph&) -> sim::ProcessFactory {
-        P2pGlobalConfig config;
-        config.op = SemigroupOp::kMin;
-        return [config](const sim::LocalView& v) {
-          return std::make_unique<P2pGlobalProcess>(
-              v, config, static_cast<sim::Word>(v.self) + 1);
+        return [](const sim::LocalView& v) {
+          return std::make_unique<BroadcastGlobalProcess>(
+              v, SemigroupOp::kMax, static_cast<sim::Word>(v.self % 17) + 1);
         };
       },
-      [](const sim::Engine& engine) {
-        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
           return static_cast<std::uint64_t>(
-              dynamic_cast<const P2pGlobalProcess&>(p).result());
+              dynamic_cast<const BroadcastGlobalProcess&>(p).result());
         });
       },
-      {64, 256},
+      {64, 128},
       7,
       200'000'000});
+
+  {
+    Scenario grid_min{
+        "global/min/p2p/grid",
+        "Pure point-to-point baseline folding a min on a square grid",
+        "grid",
+        square_grid,
+        [](const Graph&) -> sim::ProcessFactory {
+          P2pGlobalConfig config;
+          config.op = SemigroupOp::kMin;
+          return [config](const sim::LocalView& v) {
+            return std::make_unique<P2pGlobalProcess>(
+                v, config, static_cast<sim::Word>(v.self) + 1);
+          };
+        },
+        [](const NodeResults& results) {
+          return fold_nodes(results, [](const sim::Process& p, NodeId) {
+            return static_cast<std::uint64_t>(
+                dynamic_cast<const P2pGlobalProcess&>(p).result());
+          });
+        },
+        {64, 256},
+        7,
+        200'000'000};
+    grid_min.channel_free = true;  // no channel use: async-capable
+    r.add(std::move(grid_min));
+  }
+
+  {
+    Scenario cube_sum{
+        "global/sum/p2p/hypercube",
+        "Pure point-to-point sum on an iPSC-style hypercube",
+        "hypercube",
+        hypercube_for,
+        [](const Graph& g) -> sim::ProcessFactory {
+          P2pGlobalConfig config;
+          config.op = SemigroupOp::kSum;
+          std::uint32_t dim = 0;
+          while ((NodeId{1} << dim) < g.num_nodes()) ++dim;
+          config.known_diameter = dim;
+          return [config](const sim::LocalView& v) {
+            return std::make_unique<P2pGlobalProcess>(
+                v, config, static_cast<sim::Word>(v.self) + 1);
+          };
+        },
+        [](const NodeResults& results) {
+          return fold_nodes(results, [](const sim::Process& p, NodeId) {
+            return static_cast<std::uint64_t>(
+                dynamic_cast<const P2pGlobalProcess&>(p).result());
+          });
+        },
+        {64, 256},
+        7,
+        200'000'000};
+    cube_sum.channel_free = true;  // no channel use: async-capable
+    cube_sum.async_max_delay_slots = 2;  // messages straddle slot boundaries
+    r.add(std::move(cube_sum));
+  }
 
   r.add(Scenario{
       "size/det/random",
@@ -247,8 +351,8 @@ void register_all() {
           return std::make_unique<DeterministicSizeProcess>(v);
         };
       },
-      [](const sim::Engine& engine) {
-        return fold_nodes(engine, [](const sim::Process& p, NodeId) {
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
           return dynamic_cast<const DeterministicSizeProcess&>(p)
               .network_size();
         });

@@ -7,9 +7,13 @@
 // registration — the throughput bench, the equivalence suite, and any sweep
 // driver pick it up automatically.
 //
-// All scenarios are deterministic per (n, seed) and scheduler-independent:
-// run() under a ParallelScheduler returns bit-identical Metrics and digest
-// to a serial run (see sim/scheduler.hpp).
+// Scenarios are engine-generic: run() executes a workload under the
+// synchronous lockstep Engine or — for channel-free workloads, via the
+// busy-tone synchronizer (Section 7.1) — under the asynchronous AsyncEngine,
+// each on either scheduler.  All scenarios are deterministic per (n, seed,
+// engine) and scheduler-independent: run() under a ParallelScheduler returns
+// bit-identical Metrics and digest to a serial run of the same engine (see
+// sim/scheduler.hpp and the async determinism notes in sim/async_engine.hpp).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,21 @@
 
 namespace mmn::scenario {
 
+/// Which stepping policy run() drives the workload with.
+enum class EngineKind : std::uint8_t {
+  kSync,   ///< lockstep rounds (sim::Engine)
+  kAsync,  ///< bounded-delay links + synchronizer (sim::AsyncEngine)
+};
+
+/// Engine-generic view of a finished run's per-node protocol processes, for
+/// digest implementations.  `at(v)` resolves to the protocol process of node
+/// v regardless of the engine that ran it (the async path unwraps the
+/// synchronizer automatically).
+struct NodeResults {
+  NodeId n = 0;
+  std::function<const sim::Process&(NodeId)> at;
+};
+
 struct Scenario {
   std::string name;         ///< "family/variant", unique in the registry
   std::string description;  ///< one line for listings
@@ -41,18 +60,26 @@ struct Scenario {
 
   /// Order-independent digest of the per-node results (e.g. the MST edge
   /// set, the fragment assignment, the computed global value), used to
-  /// compare runs across schedulers.  May be null.
-  std::function<std::uint64_t(const sim::Engine& engine)> digest;
+  /// compare runs across schedulers and engines.  May be null.
+  std::function<std::uint64_t(const NodeResults& results)> digest;
 
   std::vector<NodeId> sweep_n;  ///< default sweep sizes, ascending
   std::uint64_t default_seed = 7;
-  std::uint64_t max_rounds = 200'000'000;
+  std::uint64_t max_rounds = 200'000'000;  ///< round cap (slot cap async)
+
+  /// True if the protocol never touches the channel — the requirement for
+  /// running it under the synchronizer on the asynchronous engine.
+  bool channel_free = false;
+
+  /// Message-delay bound, in slots, for EngineKind::kAsync runs.
+  std::uint32_t async_max_delay_slots = 1;
 };
 
 struct RunResult {
   Metrics metrics;
   std::uint64_t digest = 0;  ///< 0 when the scenario has no digest fn
   NodeId realized_n = 0;     ///< nodes in the generated graph
+  bool completed = true;     ///< false if the async slot cap was hit
 };
 
 class Registry {
@@ -75,10 +102,14 @@ class Registry {
 /// Registers the built-in scenario table; idempotent.
 void register_builtin();
 
-/// Runs one scenario at size n: generate the graph, build the engine under
-/// `scheduler` (null = serial), run to completion, digest the results.
+/// Runs one scenario at size n: generate the graph, build the engine of the
+/// requested kind under `scheduler` (null = serial), run to completion,
+/// digest the results.  EngineKind::kAsync requires s.channel_free and runs
+/// the workload through the busy-tone synchronizer; a run that exhausts
+/// s.max_rounds slots reports completed == false instead of aborting.
 RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
-              std::unique_ptr<sim::Scheduler> scheduler = nullptr);
+              std::unique_ptr<sim::Scheduler> scheduler = nullptr,
+              EngineKind engine = EngineKind::kSync);
 
 /// FNV-1a fold helper for digest implementations.
 inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t word) {

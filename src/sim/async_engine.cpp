@@ -1,58 +1,81 @@
 #include "sim/async_engine.hpp"
 
-#include <string>
+#include <utility>
 
 #include "support/check.hpp"
 
 namespace mmn::sim {
 
+/// Per-phase context of one node.  Every externally visible effect — sends
+/// (with their delivery tick already drawn from the node's own RNG stream),
+/// channel writes, message counts — is staged into the shard's buffer; the
+/// core commits shards in ascending order after the phase barrier, so the
+/// trace is scheduler-independent.  `now` is the simulated tick the node is
+/// acting at: the delivery tick of the message in hand, or the boundary tick
+/// during the on_slot fan-out.
 class AsyncEngine::Context final : public AsyncContext {
  public:
-  Context(AsyncEngine& engine, NodeId v)
+  Context(AsyncEngine& engine, ShardBuffer& shard, NodeId v, std::uint64_t now)
       : engine_(engine),
+        shard_(shard),
         view_(engine.core_.view(v)),
-        rng_(engine.core_.rng(v)) {}
+        rng_(engine.core_.rng(v)),
+        now_(now) {}
 
   const LocalView& view() const override { return view_; }
   Rng& rng() override { return rng_; }
   std::uint64_t slot_index() const override { return engine_.slot_index_; }
+
+  void set_now(std::uint64_t now) { now_ = now; }
 
   void send(EdgeId edge, const Packet& packet) override {
     const int idx = view_.link_index(edge);
     MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
     const Neighbor& nb = view_.links[static_cast<std::size_t>(idx)];
     const std::uint64_t delay = 1 + rng_.next_below(engine_.max_delay_ticks_);
-    engine_.pending_.push(PendingMessage{
-        engine_.now_tick_ + delay, engine_.send_seq_++, nb.id,
-        Received{view_.self, edge, packet}});
-    ++engine_.core_.metrics().p2p_messages;
+    shard_.async_outbox.push_back(
+        AsyncSend{now_ + delay, nb.id, Received{view_.self, edge, packet}});
+    ++shard_.p2p_sent;
   }
 
   void channel_write(const Packet& packet) override {
     // Multiple writes per slot from one node collapse into one transmission:
-    // physically the node is already holding the medium for this slot.
+    // physically the node is already holding the medium for this slot.  The
+    // dedup slot is node-local state, so staging it here is shard-safe.
     auto& last = engine_.last_write_slot_[view_.self];
     if (last == engine_.slot_index_) return;
     last = engine_.slot_index_;
-    engine_.core_.channel().write(view_.self, packet);
+    shard_.channel_writes.push_back(ChannelWrite{view_.self, packet});
   }
 
  private:
   AsyncEngine& engine_;
+  ShardBuffer& shard_;
   const LocalView& view_;
   Rng& rng_;
+  std::uint64_t now_;
 };
 
 AsyncEngine::AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
-                         std::uint64_t seed, std::uint32_t max_delay_slots)
-    : core_(g, seed), max_delay_ticks_(max_delay_slots * kTicksPerSlot) {
+                         std::uint64_t seed, std::uint32_t max_delay_slots,
+                         std::unique_ptr<Scheduler> scheduler)
+    : core_(g, seed, std::move(scheduler)),
+      max_delay_ticks_(max_delay_slots * kTicksPerSlot) {
   MMN_REQUIRE(max_delay_slots >= 1, "max_delay_slots must be >= 1");
   const NodeId n = core_.num_nodes();
+  // A message sent at tick t is due at most max_delay_slots * kTicksPerSlot
+  // ticks later; +2 covers the boundary tick of the emitting phase.
+  core_.slot_buckets().reset(n, kTicksPerSlot,
+                             std::uint64_t{max_delay_slots} + 2);
   last_write_slot_.assign(n, static_cast<std::uint64_t>(-1));
   processes_.reserve(n);
+  finished_flag_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
     processes_.push_back(factory(core_.view(v)));
     MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
+    const bool done = processes_.back()->finished();
+    finished_flag_.push_back(done ? 1 : 0);
+    if (done) ++finished_count_;
   }
 }
 
@@ -63,47 +86,96 @@ AsyncProcess& AsyncEngine::process(NodeId v) {
   return *processes_[v];
 }
 
-bool AsyncEngine::all_finished() const {
-  for (const auto& p : processes_) {
-    if (!p->finished()) return false;
-  }
-  return true;
+const AsyncProcess& AsyncEngine::process(NodeId v) const {
+  MMN_REQUIRE(v < processes_.size(), "node id out of range");
+  return *processes_[v];
 }
 
-void AsyncEngine::deliver_until(std::uint64_t tick) {
-  while (!pending_.empty() && pending_.top().tick <= tick) {
-    const PendingMessage pm = pending_.top();
-    pending_.pop();
-    now_tick_ = pm.tick;
-    Context ctx(*this, pm.to);
-    processes_[pm.to]->on_message(pm.msg, ctx);
+/// Stages the node's finished-transition (if any) into its shard buffer;
+/// called right after the node's handlers ran, so the incremental count
+/// stays exact without an O(n) scan per slot.
+void AsyncEngine::note_finished(unsigned shard, NodeId v) {
+  const char done = processes_[v]->finished() ? 1 : 0;
+  if (done != finished_flag_[v]) {
+    finished_flag_[v] = done;
+    core_.shard(shard).finished_delta += done ? 1 : -1;
   }
-  now_tick_ = tick;
 }
 
-Metrics AsyncEngine::run(std::uint64_t max_slots) {
-  for (NodeId v = 0; v < processes_.size(); ++v) {
-    Context ctx(*this, v);
-    processes_[v]->start(ctx);
+void AsyncEngine::commit_phase() {
+  finished_count_ = static_cast<NodeId>(
+      static_cast<std::int64_t>(finished_count_) + core_.commit_async_phase());
+}
+
+void AsyncEngine::start_processes() {
+  core_.scheduler().for_each_node(
+      core_.num_nodes(), [this](unsigned s, NodeId v) {
+        Context ctx(*this, core_.shard(s), v, /*now=*/0);
+        processes_[v]->start(ctx);
+        note_finished(s, v);
+      });
+  commit_phase();
+  started_ = true;
+}
+
+void AsyncEngine::run_delivery_phase() {
+  SlotBuckets& buckets = core_.slot_buckets();
+  // Fixed point over deterministic sub-rounds: sub-round k delivers every
+  // message due in this slot that was in flight when sub-round k - 1
+  // committed, each destination handling its messages in ascending
+  // (tick, seq).  A cascade send lands at least one tick after the message
+  // that triggered it, so each sub-round's earliest delivery tick strictly
+  // grows and the loop runs at most kTicksPerSlot times per slot.
+  while (buckets.stage(slot_index_) > 0) {
+    core_.scheduler().for_each_node(
+        core_.num_nodes(), [this, &buckets](unsigned s, NodeId v) {
+          const std::span<const StampedMessage> msgs = buckets.inbox(v);
+          if (msgs.empty()) return;
+          Context ctx(*this, core_.shard(s), v, /*now=*/0);
+          for (const StampedMessage& m : msgs) {
+            ctx.set_now(m.tick);
+            processes_[v]->on_message(m.msg, ctx);
+          }
+          note_finished(s, v);
+        });
+    commit_phase();
   }
-  while (slot_index_ < max_slots) {
-    // Deliver every message that arrives during the slot in progress, then
-    // resolve the slot at its boundary and fan the outcome out to all nodes.
-    deliver_until((slot_index_ + 1) * kTicksPerSlot);
+}
+
+void AsyncEngine::run_slot_fanout(const SlotObservation& obs) {
+  core_.scheduler().for_each_node(
+      core_.num_nodes(), [this, &obs](unsigned s, NodeId v) {
+        Context ctx(*this, core_.shard(s), v, slot_index_ * kTicksPerSlot);
+        processes_[v]->on_slot(obs, ctx);
+        note_finished(s, v);
+      });
+  commit_phase();
+}
+
+bool AsyncEngine::step(std::uint64_t slots) {
+  if (status_ != RunStatus::kCompleted) status_ = RunStatus::kRunning;
+  if (!started_) start_processes();
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    if (status_ == RunStatus::kCompleted) return true;
+    // One slot = delivery phase, channel resolution at the boundary, then
+    // the outcome fans out to every node (which may start the next slot's
+    // writes and sends).
+    run_delivery_phase();
     const SlotObservation obs = core_.channel().resolve(core_.metrics());
     ++core_.metrics().rounds;
     ++slot_index_;
-    for (NodeId v = 0; v < processes_.size(); ++v) {
-      Context ctx(*this, v);
-      processes_[v]->on_slot(obs, ctx);
-    }
-    if (all_finished() && pending_.empty() && core_.channel().writers() == 0) {
-      return core_.metrics();
+    run_slot_fanout(obs);
+    if (all_finished() && core_.slot_buckets().in_flight() == 0 &&
+        core_.channel().writers() == 0) {
+      status_ = RunStatus::kCompleted;
     }
   }
-  MMN_ASSERT(false, "async protocol did not terminate within " +
-                        std::to_string(max_slots) + " slots");
-  return core_.metrics();  // unreachable
+  return status_ == RunStatus::kCompleted;
+}
+
+Metrics AsyncEngine::run(std::uint64_t max_slots) {
+  if (!step(max_slots)) status_ = RunStatus::kSlotCapReached;
+  return core_.metrics();
 }
 
 }  // namespace mmn::sim

@@ -14,17 +14,34 @@
 // that just ended.  The busy-tone synchronizer (core/synchronizer.hpp) runs
 // synchronous Processes on top of this engine.
 //
-// The engine is the tick-driven stepping policy over sim::RuntimeCore: the
+// The engine is the slot-phase stepping policy over sim::RuntimeCore: the
 // views, RNG streams, channel, and metrics all live in the shared core —
-// identical state to the synchronous engine — while the delivery queue and
-// slot clock are the policy here.  Event-driven delivery is inherently
-// order-dependent, so this policy always steps serially.
+// identical state to the synchronous engine.  In-flight messages are filed
+// in the core's SlotBuckets arena (tick- and seq-stamped), and every slot
+// executes as a fixed phase sequence — delivery sub-rounds iterated to a
+// fixed point for intra-slot cascades, channel resolution at the boundary,
+// then the on_slot fan-out — each phase sharded over the same Serial /
+// ParallelScheduler as a synchronous round, with all effects staged per
+// shard and merged in ascending shard order.  Parallel asynchronous runs
+// are therefore bit-identical to serial ones for the same seed (the
+// determinism argument is spelled out in ARCHITECTURE.md).
+//
+// Delivery-order semantics: within one sub-round a node handles its
+// messages in ascending (tick, seq); a message sent *during* delivery that
+// lands in the same slot is handled in a later sub-round — causal order —
+// even if its delivery tick is smaller than messages already handled.  This
+// is the one (deterministic, documented) refinement over the retired global
+// event queue, which interleaved intra-slot cascades by raw tick.  Both
+// orders realize the same asynchronous model (delays are arbitrary within
+// the bound); slot counts, message counts, channel outcomes, and every
+// synchronizer-driven workload's per-node trace are preserved exactly, and
+// the pinned-seed golden cases in test_scheduler_equiv hold the policy to
+// that.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -77,44 +94,63 @@ class AsyncEngine {
  public:
   static constexpr std::uint64_t kTicksPerSlot = 16;
 
+  /// Outcome of the last run()/step() call.
+  enum class RunStatus : std::uint8_t {
+    kRunning,         ///< step() budget elapsed with work still pending
+    kCompleted,       ///< every process finished, no in-flight state left
+    kSlotCapReached,  ///< run() hit max_slots — a liveness failure
+  };
+
   /// max_delay_slots >= 1: upper bound on message delay, in slot lengths.
+  /// The default scheduler is serial; pass make_scheduler(threads) to shard
+  /// the slot phases over a thread pool (bit-identical results).
   AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
-              std::uint64_t seed, std::uint32_t max_delay_slots);
+              std::uint64_t seed, std::uint32_t max_delay_slots,
+              std::unique_ptr<Scheduler> scheduler = nullptr);
   ~AsyncEngine();
 
   AsyncEngine(const AsyncEngine&) = delete;
   AsyncEngine& operator=(const AsyncEngine&) = delete;
 
-  /// Runs until every process is finished; aborts after max_slots otherwise.
+  /// Runs until every process is finished or max_slots slots elapse.  Never
+  /// aborts: a protocol that fails to terminate is reported through status()
+  /// (== kSlotCapReached), so sweeps over pathological configurations can
+  /// observe and skip the run — mirroring how Engine::step exposes the
+  /// synchronous round cap.
   Metrics run(std::uint64_t max_slots);
 
+  /// Runs at most `slots` additional slots; returns true once all finished.
+  bool step(std::uint64_t slots);
+
+  RunStatus status() const { return status_; }
+  const Metrics& metrics() const { return core_.metrics(); }
+
+  /// Direct access to a node's process (for reading results and tests).
+  /// Termination is detected incrementally, like the synchronous engine:
+  /// finished() must only change inside start/on_message/on_slot calls.
   AsyncProcess& process(NodeId v);
+  const AsyncProcess& process(NodeId v) const;
+  NodeId num_nodes() const { return core_.num_nodes(); }
 
  private:
   class Context;
-  struct PendingMessage {
-    std::uint64_t tick = 0;
-    std::uint64_t seq = 0;
-    NodeId to = kNoNode;
-    Received msg;
-    bool operator>(const PendingMessage& other) const {
-      return tick != other.tick ? tick > other.tick : seq > other.seq;
-    }
-  };
 
-  bool all_finished() const;
-  void deliver_until(std::uint64_t tick);
+  bool all_finished() const { return finished_count_ == core_.num_nodes(); }
+  void start_processes();
+  void run_delivery_phase();
+  void run_slot_fanout(const SlotObservation& obs);
+  void note_finished(unsigned shard, NodeId v);
+  void commit_phase();
 
   RuntimeCore core_;
   std::vector<std::unique_ptr<AsyncProcess>> processes_;
-  std::priority_queue<PendingMessage, std::vector<PendingMessage>,
-                      std::greater<>>
-      pending_;
   std::vector<std::uint64_t> last_write_slot_;  // per-node write dedup
-  std::uint64_t now_tick_ = 0;
+  std::vector<char> finished_flag_;  // per node; char: shard-safe writes
+  NodeId finished_count_ = 0;
   std::uint64_t slot_index_ = 0;
-  std::uint64_t send_seq_ = 0;
   std::uint32_t max_delay_ticks_;
+  bool started_ = false;
+  RunStatus status_ = RunStatus::kRunning;
 };
 
 }  // namespace mmn::sim

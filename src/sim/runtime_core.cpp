@@ -48,6 +48,53 @@ void MessageArena::flip(std::vector<ShardBuffer>& shards) {
   offsets_.swap(next_offsets_);
 }
 
+void SlotBuckets::reset(NodeId n, std::uint64_t ticks_per_slot,
+                        std::uint64_t ring_slots) {
+  MMN_REQUIRE(ticks_per_slot >= 1, "need at least one tick per slot");
+  MMN_REQUIRE(ring_slots >= 2, "bucket ring needs at least two slots");
+  n_ = n;
+  ticks_per_slot_ = ticks_per_slot;
+  next_seq_ = 0;
+  in_flight_ = 0;
+  ring_.assign(ring_slots, {});
+  staged_.clear();
+  offsets_.assign(n_ + 1, 0);
+}
+
+void SlotBuckets::push(AsyncSend&& send) {
+  MMN_ASSERT(send.due_tick >= 1, "delivery tick predates the first slot");
+  const std::uint64_t due_slot = (send.due_tick - 1) / ticks_per_slot_;
+  ring_[due_slot % ring_.size()].push_back(
+      StampedMessage{send.due_tick, next_seq_++, send.to, std::move(send.msg)});
+  ++in_flight_;
+}
+
+std::size_t SlotBuckets::stage(std::uint64_t slot) {
+  std::vector<StampedMessage>& bucket = ring_[slot % ring_.size()];
+  staged_.clear();
+  staged_.swap(bucket);  // the bucket keeps staged_'s old capacity
+  // Every slot's delivery loop ends on an empty stage; skip the O(n)
+  // offsets rebuild for it (inbox() is never consulted on a zero return).
+  if (staged_.empty()) return 0;
+  // Group by destination, each destination ascending (tick, seq).  seq is
+  // unique, so the order is total and scheduler-independent.
+  std::sort(staged_.begin(), staged_.end(),
+            [](const StampedMessage& a, const StampedMessage& b) {
+              if (a.to != b.to) return a.to < b.to;
+              if (a.tick != b.tick) return a.tick < b.tick;
+              return a.seq < b.seq;
+            });
+  std::fill(offsets_.begin(), offsets_.end(), 0);
+  for (const StampedMessage& m : staged_) {
+    MMN_ASSERT((m.tick - 1) / ticks_per_slot_ == slot,
+               "bucket ring too small for the delay bound");
+    ++offsets_[m.to + 1];
+  }
+  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  in_flight_ -= staged_.size();
+  return staged_.size();
+}
+
 RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
                          std::unique_ptr<Scheduler> scheduler)
     : scheduler_(scheduler ? std::move(scheduler)
@@ -85,6 +132,22 @@ std::int64_t RuntimeCore::run_round(const Scheduler::NodeFn& fn) {
   for (ShardBuffer& sb : shards_) sb.clear_round();
   ++round_;
   ++metrics_.rounds;
+  return finished_delta;
+}
+
+std::int64_t RuntimeCore::commit_async_phase() {
+  std::int64_t finished_delta = 0;
+  for (ShardBuffer& sb : shards_) {
+    for (const ChannelWrite& w : sb.channel_writes) {
+      channel_.write(w.node, w.packet);
+    }
+    for (AsyncSend& send : sb.async_outbox) {
+      slot_buckets_.push(std::move(send));
+    }
+    metrics_.p2p_messages += sb.p2p_sent;
+    finished_delta += sb.finished_delta;
+    sb.clear_round();
+  }
   return finished_delta;
 }
 

@@ -126,25 +126,38 @@ struct Outgoing {
   Received msg;
 };
 
+/// A point-to-point send staged by the asynchronous policy.  The delivery
+/// tick is already fixed (drawn from the sender's own RNG stream at send
+/// time); the global order stamp is assigned when the phase commits, in
+/// ascending shard order — i.e. in exactly the serial emission order.
+struct AsyncSend {
+  std::uint64_t due_tick = 0;
+  NodeId to = kNoNode;
+  Received msg;
+};
+
 /// A channel write staged for end-of-round resolution.
 struct ChannelWrite {
   NodeId node = kNoNode;
   Packet packet;
 };
 
-/// Externally visible effects of one shard's nodes during one round.  Nodes
-/// of one shard run sequentially, so no synchronization is needed; the core
-/// merges shards in ascending order after the round barrier.  Cache-line
-/// aligned: adjacent shards are written by different worker threads on the
-/// hottest path (every send of every node), so they must not share a line.
+/// Externally visible effects of one shard's nodes during one round (or one
+/// asynchronous slot phase).  Nodes of one shard run sequentially, so no
+/// synchronization is needed; the core merges shards in ascending order
+/// after the barrier.  Cache-line aligned: adjacent shards are written by
+/// different worker threads on the hottest path (every send of every node),
+/// so they must not share a line.
 struct alignas(64) ShardBuffer {
   std::vector<Outgoing> outbox;
+  std::vector<AsyncSend> async_outbox;
   std::vector<ChannelWrite> channel_writes;
   std::uint64_t p2p_sent = 0;
   std::int64_t finished_delta = 0;  ///< nodes that toggled finished()
 
   void clear_round() {
     outbox.clear();
+    async_outbox.clear();
     channel_writes.clear();
     p2p_sent = 0;
     finished_delta = 0;
@@ -173,6 +186,61 @@ class MessageArena {
   std::vector<std::uint32_t> offsets_;       // n_ + 1 spans into buf_
   std::vector<std::uint32_t> next_offsets_;  // n_ + 1 spans into next_buf_
   std::vector<std::uint32_t> cursor_;        // scatter cursors, n_
+};
+
+/// An in-flight asynchronous message, stamped for deterministic delivery:
+/// `tick` is its fixed delivery time, `seq` its position in the serial
+/// emission order.  Within one staged delivery sub-round, a node handles
+/// its messages in ascending (tick, seq); across sub-rounds, causal order
+/// wins — an intra-slot cascade is always handled after the sub-round that
+/// triggered it, even if its tick is smaller (see sim/async_engine.hpp).
+struct StampedMessage {
+  std::uint64_t tick = 0;
+  std::uint64_t seq = 0;
+  NodeId to = kNoNode;
+  Received msg;
+};
+
+/// Slot-bucketed delivery store for the asynchronous stepping policy: every
+/// in-flight message is filed under the slot its delivery tick falls into (a
+/// ring of max_delay + slack buckets).  stage(slot) drains one bucket into a
+/// flat per-destination delivery table — grouped by node, each node's
+/// messages in ascending (tick, seq) — that a delivery phase shards exactly
+/// like a synchronous round.  Because seq stamps are assigned at commit time
+/// in ascending shard order, the table is scheduler-independent: parallel
+/// async runs see bit-identical delivery orders to serial ones.
+class SlotBuckets {
+ public:
+  /// Sizes the store: n destination nodes, the tick<->slot mapping, and the
+  /// bucket ring (ring_slots must exceed the maximum delivery-slot span).
+  void reset(NodeId n, std::uint64_t ticks_per_slot, std::uint64_t ring_slots);
+
+  /// Stamps one committed send with the next serial-order seq and files it
+  /// under its delivery slot.  Call in ascending shard order only.
+  void push(AsyncSend&& send);
+
+  /// Drains every message due in `slot` into the delivery table; returns the
+  /// number of messages staged.  Messages pushed after this call land in a
+  /// fresh bucket, so calling again stages only the intra-slot cascades.
+  std::size_t stage(std::uint64_t slot);
+
+  /// Messages staged for `v` by the last stage() call, ascending (tick, seq).
+  /// Valid until the next stage() call.
+  std::span<const StampedMessage> inbox(NodeId v) const {
+    return {staged_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Total messages filed but not yet staged for delivery.
+  std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  NodeId n_ = 0;
+  std::uint64_t ticks_per_slot_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t in_flight_ = 0;
+  std::vector<std::vector<StampedMessage>> ring_;  ///< bucket = slot % size
+  std::vector<StampedMessage> staged_;  ///< last staged slot, (to, tick, seq)
+  std::vector<std::uint32_t> offsets_;  ///< n_ + 1 spans into staged_
 };
 
 /// The substrate both engines execute on.
@@ -204,12 +272,24 @@ class RuntimeCore {
   /// Returns the net change in the number of finished nodes.
   std::int64_t run_round(const Scheduler::NodeFn& fn);
 
+  /// The asynchronous policy's bucket store; inert until its reset().
+  SlotBuckets& slot_buckets() { return slot_buckets_; }
+
+  /// Commits one asynchronous slot phase: the staged effects of all shards
+  /// merged in ascending shard order — channel writes into the channel,
+  /// async sends seq-stamped into the slot buckets, p2p counts into metrics.
+  /// The shard-major merge order equals the serial emission order, so the
+  /// committed state is identical under any scheduler.  Returns the net
+  /// change in the number of finished nodes staged by the phase.
+  std::int64_t commit_async_phase();
+
  private:
   std::vector<LocalView> views_;
   std::vector<Rng> rngs_;
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<ShardBuffer> shards_;
   MessageArena arena_;
+  SlotBuckets slot_buckets_;
   Channel channel_;
   SlotObservation slot_;  // outcome of the previous round's slot
   Metrics metrics_;

@@ -29,8 +29,13 @@ UnslottedRun run_unslotted(
     // tone for exactly that interval.
     std::uint64_t busy_until = boundary;  // end of the busy-tone envelope
     for (NodeId w : writers) {
-      const std::uint64_t start =
-          boundary + 1 + rng.next_below(config.reaction_delay_max);
+      // reaction_delay_max == 0 models perfectly synchronized stations:
+      // everyone keys up exactly one tick after the boundary.
+      const std::uint64_t jitter =
+          config.reaction_delay_max == 0
+              ? 0
+              : rng.next_below(config.reaction_delay_max);
+      const std::uint64_t start = boundary + 1 + jitter;
       const std::uint64_t end = start + config.transmit_ticks;
       run.transmissions.push_back(Transmission{w, s, start, end});
       busy_until = std::max(busy_until, end);

@@ -32,7 +32,9 @@ namespace mmn::sim {
 
 struct UnslottedConfig {
   /// Upper bound (exclusive) on each station's reaction delay per slot,
-  /// in ticks: clock jitter plus carrier-sense latency.
+  /// in ticks: clock jitter plus carrier-sense latency.  0 is legal and
+  /// models perfectly synchronized stations: every active station keys up
+  /// exactly one tick after the boundary.
   std::uint32_t reaction_delay_max = 8;
 
   /// Length of one data transmission, in ticks.

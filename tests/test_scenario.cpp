@@ -60,5 +60,51 @@ TEST(ScenarioRegistry, GridFamilyReportsRealizedSize) {
   EXPECT_GT(r.metrics.rounds, 0u);
 }
 
+TEST(ScenarioRegistry, ChannelDisciplineAndAnonymousScenariosRegistered) {
+  register_builtin();
+  const Scenario* tdma = Registry::instance().find("global/max/tdma/ring");
+  ASSERT_NE(tdma, nullptr);
+  EXPECT_FALSE(tdma->channel_free);  // TDMA is a channel discipline
+  const RunResult t = run(*tdma, 64, 7);
+  // The fixed schedule costs one slot per station plus the final quiet slot.
+  EXPECT_EQ(t.metrics.rounds, 65u);
+  EXPECT_EQ(t.metrics.p2p_messages, 0u);
+
+  const Scenario* anon = Registry::instance().find("partition/anon/random");
+  ASSERT_NE(anon, nullptr);
+  const RunResult a = run(*anon, 64, 7);
+  EXPECT_GT(a.metrics.rounds, 0u);
+  EXPECT_NE(a.digest, 0u);
+}
+
+TEST(ScenarioRegistry, AsyncRunMatchesSyncResultsForChannelFreeScenarios) {
+  register_builtin();
+  int checked = 0;
+  for (const Scenario& s : Registry::instance().all()) {
+    if (!s.channel_free) continue;
+    ++checked;
+    const NodeId n = s.sweep_n.front();
+    const RunResult sync = run(s, n, s.default_seed);
+    const RunResult async =
+        run(s, n, s.default_seed, nullptr, EngineKind::kAsync);
+    EXPECT_TRUE(async.completed) << s.name;
+    // Different engine, different schedule — but the same computed results.
+    EXPECT_EQ(sync.digest, async.digest) << s.name;
+    // The synchronizer costs exactly one acknowledgement per message.
+    EXPECT_EQ(async.metrics.p2p_messages, 2 * sync.metrics.p2p_messages)
+        << s.name;
+  }
+  EXPECT_GE(checked, 2);
+}
+
+TEST(ScenarioRegistry, AsyncRunRejectsChannelUsingScenarios) {
+  register_builtin();
+  const Scenario* s = Registry::instance().find("mst/random");
+  ASSERT_NE(s, nullptr);
+  ASSERT_FALSE(s->channel_free);
+  EXPECT_THROW(run(*s, 64, 7, nullptr, EngineKind::kAsync),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mmn::scenario

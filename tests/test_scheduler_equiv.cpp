@@ -14,12 +14,15 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/p2p_global.hpp"
 #include "core/mst.hpp"
 #include "core/partition.hpp"
 #include "core/partition_det.hpp"
 #include "core/partition_rand.hpp"
+#include "core/synchronizer.hpp"
 #include "graph/generators.hpp"
 #include "scenario/registry.hpp"
+#include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -112,6 +115,151 @@ TEST(SchedulerEquivalence, PartitionRandPerNodeStateIdentical) {
   // The randomized partition consumes per-node RNG streams heavily; identical
   // results across schedulers prove streams are never shared or reordered.
   expect_partition_equivalent<PartitionRandProcess>(PartitionRandConfig{}, 5);
+}
+
+// --- asynchronous engine equivalence --------------------------------------
+//
+// The AsyncEngine's slot-phase execution (delivery sub-rounds -> channel
+// resolve -> on_slot fan-out, all staged per shard and merged in ascending
+// shard order) must make parallel asynchronous runs bit-identical to serial
+// ones.  Every channel-free scenario runs through the busy-tone synchronizer
+// under both schedulers at 2/4/8 threads.
+
+TEST(SchedulerEquivalence, AsyncScenariosMatchSerialAcrossThreadCounts) {
+  scenario::register_builtin();
+  int async_capable = 0;
+  for (const scenario::Scenario& s : scenario::Registry::instance().all()) {
+    if (!s.channel_free) continue;
+    ++async_capable;
+    const NodeId n = s.sweep_n.front();
+    const scenario::RunResult serial = scenario::run(
+        s, n, s.default_seed, nullptr, scenario::EngineKind::kAsync);
+    ASSERT_TRUE(serial.completed) << s.name;
+    for (unsigned threads : kThreadCounts) {
+      const scenario::RunResult parallel =
+          scenario::run(s, n, s.default_seed, sim::make_scheduler(threads),
+                        scenario::EngineKind::kAsync);
+      EXPECT_TRUE(parallel.completed) << s.name;
+      EXPECT_TRUE(serial.metrics == parallel.metrics)
+          << s.name << " async with " << threads
+          << " threads: metrics diverged\n"
+          << "serial:   " << serial.metrics.to_string() << "\n"
+          << "parallel: " << parallel.metrics.to_string();
+      EXPECT_EQ(serial.digest, parallel.digest)
+          << s.name << " async with " << threads
+          << " threads: per-node results diverged";
+    }
+  }
+  // The registry must keep at least two async-capable workloads so this
+  // suite stays meaningful.
+  EXPECT_GE(async_capable, 2);
+}
+
+// Golden pinned-seed traces captured from the PRE-refactor AsyncEngine (the
+// serial global-event-queue implementation this slot-phase policy replaced).
+// They hold the refactor to the original observable behavior — slot counts,
+// message counts, per-outcome channel slots, pulses, and per-node results —
+// under every scheduler.  (Synchronizer-driven workloads like these also
+// keep their per-node traces: acks, the only intra-slot cascades, carry no
+// payload and draw no randomness, so the sub-round cascade order — the one
+// deliberate semantic refinement over the old global queue, see
+// sim/async_engine.hpp — cannot surface in them.)
+struct AsyncGolden {
+  std::uint64_t rounds, p2p, idle, success, collision, pulses;
+  sim::Word result;
+};
+
+void expect_async_golden(const Graph& g, SemigroupOp op, sim::Word input_base,
+                         std::uint64_t seed, std::uint32_t delay,
+                         const AsyncGolden& want) {
+  P2pGlobalConfig config;
+  config.op = op;
+  auto factory = [&](const sim::LocalView& v) -> std::unique_ptr<sim::Process> {
+    return std::make_unique<P2pGlobalProcess>(
+        v, config, static_cast<sim::Word>(v.self) + input_base);
+  };
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    sim::AsyncEngine engine(g, synchronize(factory), seed, delay,
+                            sim::make_scheduler(threads));
+    const Metrics m = engine.run(10'000'000);
+    ASSERT_EQ(engine.status(), sim::AsyncEngine::RunStatus::kCompleted);
+    EXPECT_EQ(m.rounds, want.rounds) << threads << " threads";
+    EXPECT_EQ(m.p2p_messages, want.p2p) << threads << " threads";
+    EXPECT_EQ(m.slots_idle, want.idle) << threads << " threads";
+    EXPECT_EQ(m.slots_success, want.success) << threads << " threads";
+    EXPECT_EQ(m.slots_collision, want.collision) << threads << " threads";
+    const auto& wrapper =
+        static_cast<const SynchronizerProcess&>(engine.process(0));
+    EXPECT_EQ(wrapper.pulses(), want.pulses) << threads << " threads";
+    EXPECT_EQ(static_cast<const P2pGlobalProcess&>(wrapper.inner()).result(),
+              want.result)
+        << threads << " threads";
+  }
+}
+
+TEST(SchedulerEquivalence, AsyncGoldenTraceMatchesPreRefactorSerialRun) {
+  // grid(6,6,2), sum of v+1, seed 5, delay <= 1 slot.
+  expect_async_golden(grid(6, 6, 2), SemigroupOp::kSum, 1, 5, 1,
+                      AsyncGolden{174, 1390, 114, 11, 49, 114, 666});
+  // random_connected(40,50,3), min of v+7, seed 11, delay <= 3 slots.
+  expect_async_golden(random_connected(40, 50, 3), SemigroupOp::kMin, 7, 11, 3,
+                      AsyncGolden{206, 1376, 126, 12, 68, 126, 7});
+}
+
+// Direct AsyncProcess equivalence with intra-slot cascades: a relay chain in
+// which on_message immediately forwards, so messages cascade inside single
+// slots and exercise the delivery sub-round fixed point under sharding.
+class AsyncRelay final : public sim::AsyncProcess {
+ public:
+  explicit AsyncRelay(const sim::LocalView& view) : view_(view) {}
+
+  void start(sim::AsyncContext& ctx) override {
+    if (view_.self == 0) {
+      for (const sim::Neighbor& nb : view_.links) {
+        ctx.send(nb.edge, sim::Packet(1, {8}));
+      }
+    }
+  }
+
+  void on_message(const sim::Received& msg, sim::AsyncContext& ctx) override {
+    trace_.push_back(static_cast<NodeId>(msg.from));
+    const sim::Word hops = msg.packet[0];
+    if (hops > 0) {
+      for (const sim::Neighbor& nb : view_.links) {
+        if (nb.id != msg.from) ctx.send(nb.edge, sim::Packet(1, {hops - 1}));
+      }
+    }
+    done_ = true;
+  }
+
+  void on_slot(const sim::SlotObservation&, sim::AsyncContext&) override {}
+
+  bool finished() const override { return view_.self != 0 || done_; }
+
+  const sim::LocalView& view_;
+  std::vector<NodeId> trace_;
+  bool done_ = false;
+};
+
+TEST(SchedulerEquivalence, AsyncCascadesBitIdenticalAcrossSchedulers) {
+  const Graph g = random_connected(48, 96, 13);
+  const auto factory = [](const sim::LocalView& v) {
+    return std::make_unique<AsyncRelay>(v);
+  };
+  sim::AsyncEngine serial(g, factory, 13, 2);
+  const Metrics sm = serial.run(100'000);
+  ASSERT_EQ(serial.status(), sim::AsyncEngine::RunStatus::kCompleted);
+  for (unsigned threads : kThreadCounts) {
+    sim::AsyncEngine parallel(g, factory, 13, 2, sim::make_scheduler(threads));
+    const Metrics pm = parallel.run(100'000);
+    EXPECT_TRUE(sm == pm) << threads << " threads";
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& a = static_cast<const AsyncRelay&>(serial.process(v));
+      const auto& b = static_cast<const AsyncRelay&>(parallel.process(v));
+      // Same senders in the same per-node delivery order, message by message.
+      EXPECT_EQ(a.trace_, b.trace_) << "node " << v << ", " << threads;
+    }
+  }
 }
 
 // --- delivery-order microtest --------------------------------------------

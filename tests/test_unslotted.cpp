@@ -77,7 +77,50 @@ INSTANTIATE_TEST_SUITE_P(
     Jitter, UnslottedTest,
     ::testing::Values(JitterCase{1, 1, 1}, JitterCase{8, 32, 4},
                       JitterCase{64, 16, 2}, JitterCase{4, 128, 16},
-                      JitterCase{100, 1, 50}));
+                      JitterCase{100, 1, 50},
+                      // Edge cases: perfectly synchronized stations (zero
+                      // reaction delay) and the minimal 1-tick idle gap.
+                      JitterCase{0, 16, 1}, JitterCase{0, 1, 1}));
+
+TEST(Unslotted, ZeroReactionDelayKeysUpInLockstep) {
+  // With zero jitter every active station transmits exactly one tick after
+  // the boundary, so busy slots have a fixed, predictable length and the
+  // construction still matches the ideal slotted channel.
+  UnslottedConfig config{0, 32, 4, 21};
+  const std::vector<std::vector<NodeId>> pattern = {
+      {0}, {}, {1, 2}, {3}, {0, 1, 2, 3}};
+  const UnslottedRun run = run_unslotted(4, pattern, config);
+  EXPECT_EQ(run.outcomes, run_slotted_reference(pattern));
+  for (const Transmission& t : run.transmissions) {
+    EXPECT_EQ(t.start_tick, run.boundaries[t.logical_slot] + 1);
+    EXPECT_EQ(t.end_tick, t.start_tick + config.transmit_ticks);
+  }
+  // Busy slots cost exactly 1 (key-up) + transmit + gap ticks.
+  for (std::size_t s = 0; s < pattern.size(); ++s) {
+    const std::uint64_t len = run.boundaries[s + 1] - run.boundaries[s];
+    if (pattern[s].empty()) {
+      EXPECT_EQ(len, config.idle_gap_ticks) << "slot " << s;
+    } else {
+      EXPECT_EQ(len, 1 + config.transmit_ticks + config.idle_gap_ticks)
+          << "slot " << s;
+    }
+  }
+}
+
+TEST(Unslotted, MinimalIdleGapStillSeparatesSlots) {
+  // idle_gap_ticks == 1 is the tightest legal end-of-slot detector; slots
+  // must stay disjoint and decodable even at maximal jitter.
+  UnslottedConfig config{32, 8, 1, 5};
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto pattern = random_write_pattern(10, 50, seed);
+    const UnslottedRun run = run_unslotted(10, pattern, config);
+    EXPECT_EQ(run.outcomes, run_slotted_reference(pattern)) << seed;
+    for (const Transmission& t : run.transmissions) {
+      EXPECT_GE(t.start_tick, run.boundaries[t.logical_slot]);
+      EXPECT_LE(t.end_tick, run.boundaries[t.logical_slot + 1]);
+    }
+  }
+}
 
 TEST(Unslotted, IdleSlotsCostOnlyTheGap) {
   UnslottedConfig config{8, 32, 4, 1};
