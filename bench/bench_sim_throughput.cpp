@@ -16,7 +16,10 @@
 //   * async/synchronized/<side> — the asynchronous engine driving a
 //                                 synchronous protocol through the busy-tone
 //                                 synchronizer (Section 7.1);
-//   * channel/resolve           — raw slot resolution.
+//   * channel/resolve           — raw slot resolution;
+//   * discipline/<name>         — raw ChannelDiscipline::slot throughput
+//                                 under a 16-of-64 contention batch per
+//                                 iteration, drained to empty backlog.
 // This is the only wall-clock bench; all experiment tables use model
 // metrics.  `--json` maps to google-benchmark's JSON output, written to
 // BENCH_sim_throughput.json.
@@ -33,6 +36,7 @@
 #include "scenario/registry.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/channel.hpp"
+#include "sim/channel_discipline.hpp"
 #include "sim/scheduler.hpp"
 
 namespace mmn {
@@ -158,6 +162,48 @@ BENCHMARK(BM_SynchronizedAsyncRun)
     ->Arg(8)
     ->Arg(16);
 
+void run_discipline(benchmark::State& state, sim::DisciplineKind kind) {
+  // One iteration = a fresh batch of 16 spread-out contenders (of 64
+  // stations) fed into one slot, then further slots until the policy has
+  // drained its backlog: 1 slot for the non-deferring disciplines, a
+  // Capetanakis traversal or a TDMA cycle for the deferring ones.  The
+  // slots/s counter is the policy's raw scheduling throughput.
+  constexpr NodeId kStations = 64;
+  constexpr NodeId kContenders = 16;
+  auto discipline = sim::make_discipline(kind);
+  discipline->reset(kStations);
+  sim::Channel channel;
+  Metrics metrics;
+  std::vector<sim::ChannelWrite> batch;
+  for (NodeId i = 0; i < kContenders; ++i) {
+    batch.push_back(sim::ChannelWrite{
+        static_cast<NodeId>(i * (kStations / kContenders)),
+        sim::Packet(1, {sim::Word{i}})});
+  }
+  const std::vector<sim::ChannelWrite> empty;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(discipline->slot(batch, channel, metrics));
+    ++slots;
+    while (discipline->backlog() > 0) {
+      benchmark::DoNotOptimize(discipline->slot(empty, channel, metrics));
+      ++slots;
+    }
+  }
+  state.counters["slots/s"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+
+void register_discipline_benches() {
+  for (sim::DisciplineKind kind :
+       {sim::DisciplineKind::kFreeForAll, sim::DisciplineKind::kTdma,
+        sim::DisciplineKind::kCapetanakis, sim::DisciplineKind::kUnslotted}) {
+    benchmark::RegisterBenchmark(
+        (std::string("discipline/") + sim::discipline_name(kind)).c_str(),
+        [kind](benchmark::State& state) { run_discipline(state, kind); });
+  }
+}
+
 void BM_ChannelResolve(benchmark::State& state) {
   sim::Channel channel;
   Metrics metrics;
@@ -191,6 +237,7 @@ int main(int argc, char** argv) {
   }
   int new_argc = static_cast<int>(args.size());
   mmn::register_scenario_sweeps();
+  mmn::register_discipline_benches();
   benchmark::Initialize(&new_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,20 +1,65 @@
 // Scenario sweep: drive every registered workload from one table.
 //
 // The scenario registry (src/scenario/registry.hpp) names each workload —
-// graph family x protocol x default n/seed sweep — once; this example walks
-// the whole table at its smallest size, optionally under the parallel
-// scheduler, and prints the model metrics plus the per-node result digest.
-// It is the template for adding a new workload: register it once and every
-// sweep driver (this example, bench_sim_throughput, the scheduler
-// equivalence suite) picks it up.
+// graph family x protocol x channel discipline x default n/seed sweep —
+// once; this example validates the whole table, walks it at its smallest
+// size, optionally under the parallel scheduler, and prints the model
+// metrics plus the per-node result digest.  It is the template for adding a
+// new workload: register it once and every sweep driver (this example,
+// bench_sim_throughput, the scheduler equivalence suite) picks it up.
+//
+// CI diffs the serial and parallel tables row by row, so a malformed
+// registry entry must fail the sweep loudly instead of being skipped:
+// duplicate names, missing digests, or empty sweeps exit non-zero before
+// any run starts.
 //
 //   $ ./example_scenario_sweep            # serial
 //   $ ./example_scenario_sweep 8          # 8-thread parallel scheduler
 #include <cstdio>
 #include <cstdlib>
+#include <set>
+#include <string>
 
 #include "scenario/registry.hpp"
+#include "sim/channel_discipline.hpp"
 #include "sim/scheduler.hpp"
+
+namespace {
+
+/// Rejects registry entries the sweep (and the CI diff over its rows)
+/// cannot meaningfully drive, with a clean exit-1 instead of a skipped row.
+/// Registry::add already aborts the process on duplicate names, missing
+/// factories, and empty sweeps, so the load-bearing check here is the
+/// digest: a digest-less scenario would print 0 and make the CI
+/// serial/parallel diff blind to its results.  The duplicate-name re-check
+/// stays as cheap defense in depth for a future registration path that
+/// bypasses add().
+bool validate_registry(const std::deque<mmn::scenario::Scenario>& scenarios) {
+  bool ok = true;
+  std::set<std::string> names;
+  for (const auto& s : scenarios) {
+    if (!names.insert(s.name).second) {
+      std::fprintf(stderr, "malformed registry: duplicate scenario name %s\n",
+                   s.name.c_str());
+      ok = false;
+    }
+    if (!s.digest) {
+      std::fprintf(stderr,
+                   "malformed registry: %s has no digest — the sweep's "
+                   "serial/parallel diff would be blind to its results\n",
+                   s.name.c_str());
+      ok = false;
+    }
+    if (s.sweep_n.empty()) {
+      std::fprintf(stderr, "malformed registry: %s has an empty sweep\n",
+                   s.name.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mmn;
@@ -31,17 +76,19 @@ int main(int argc, char** argv) {
 
   scenario::register_builtin();
   const auto& scenarios = scenario::Registry::instance().all();
+  if (!validate_registry(scenarios)) return 1;
   std::printf("%zu scenarios registered; scheduler: %s\n\n", scenarios.size(),
               threads > 1 ? "parallel" : "serial");
-  std::printf("%-28s %6s %10s %12s %18s\n", "scenario", "n", "rounds", "msgs",
-              "digest");
+  std::printf("%-30s %-11s %6s %10s %12s %18s\n", "scenario", "discipline",
+              "n", "rounds", "msgs", "digest");
   for (const auto& s : scenarios) {
     const NodeId n = s.sweep_n.front();
     const scenario::RunResult r = scenario::run(
         s, n, s.default_seed,
         threads > 1 ? sim::make_scheduler(threads) : nullptr);
-    std::printf("%-28s %6u %10llu %12llu %18llx\n", s.name.c_str(),
-                r.realized_n, (unsigned long long)r.metrics.rounds,
+    std::printf("%-30s %-11s %6u %10llu %12llu %18llx\n", s.name.c_str(),
+                sim::discipline_name(s.discipline), r.realized_n,
+                (unsigned long long)r.metrics.rounds,
                 (unsigned long long)r.metrics.p2p_messages,
                 (unsigned long long)r.digest);
   }
@@ -59,8 +106,9 @@ int main(int argc, char** argv) {
                    s.name.c_str());
       return 1;
     }
-    std::printf("%-28s %6u %10llu %12llu %18llx\n",
-                (s.name + "@async").c_str(), r.realized_n,
+    std::printf("%-30s %-11s %6u %10llu %12llu %18llx\n",
+                (s.name + "@async").c_str(),
+                sim::discipline_name(s.discipline), r.realized_n,
                 (unsigned long long)r.metrics.rounds,
                 (unsigned long long)r.metrics.p2p_messages,
                 (unsigned long long)r.digest);
@@ -68,7 +116,8 @@ int main(int argc, char** argv) {
   std::printf("\nRe-run with a thread count (e.g. `%s 8`): the rounds, msgs,\n"
               "and digest columns are identical by construction — both the\n"
               "synchronous rounds and the async slot phases run on the same\n"
-              "deterministic scheduler.\n",
+              "deterministic scheduler, whichever channel discipline the\n"
+              "scenario declares.\n",
               argv[0]);
   return 0;
 }

@@ -44,4 +44,29 @@ sim::Word BroadcastGlobalProcess::result() const {
   return acc_;
 }
 
+ContentionGlobalProcess::ContentionGlobalProcess(const sim::LocalView& view,
+                                                 SemigroupOp op,
+                                                 sim::Word input)
+    : view_(view), op_(op), input_(input) {}
+
+void ContentionGlobalProcess::round(sim::NodeContext& ctx) {
+  const sim::SlotObservation& obs = ctx.slot();
+  if (obs.success()) {
+    acc_ = heard_ == 0 ? obs.payload[0]
+                       : semigroup_apply(op_, acc_, obs.payload[0]);
+    ++heard_;
+    if (obs.writer == view_.self) transmitted_ = true;
+  }
+  // Keep offering the input until the discipline grants us a success slot.
+  // Every node succeeds exactly once, so exactly n successes are heard.
+  if (!transmitted_ && heard_ < view_.n) {
+    ctx.channel_write(sim::Packet(kInput, {input_}));
+  }
+}
+
+sim::Word ContentionGlobalProcess::result() const {
+  MMN_REQUIRE(finished(), "contention fold still running");
+  return acc_;
+}
+
 }  // namespace mmn

@@ -42,4 +42,32 @@ class BroadcastGlobalProcess final : public SteppedProcess {
   std::uint32_t heard_ = 0;
 };
 
+/// Greedy contender for the channel-discipline layer
+/// (sim/channel_discipline.hpp): every node offers its input to the channel
+/// in every round until it observes its own success, folds every success it
+/// overhears, and finishes once all n inputs are heard.  It carries no
+/// medium-access logic of its own — under the free-for-all discipline n >= 2
+/// contenders collide forever, so the workload exists precisely to let TDMA
+/// (one cycle of n slots, zero collisions) and Capetanakis tree resolution
+/// (2k - 1 probe slots for k contiguous contenders) do the scheduling.
+class ContentionGlobalProcess final : public sim::Process {
+ public:
+  ContentionGlobalProcess(const sim::LocalView& view, SemigroupOp op,
+                          sim::Word input);
+
+  void round(sim::NodeContext& ctx) override;
+  bool finished() const override { return heard_ == view_.n; }
+
+  /// The fold of all inputs; valid once finished (known to every node).
+  sim::Word result() const;
+
+ private:
+  const sim::LocalView& view_;
+  SemigroupOp op_;
+  sim::Word input_;
+  sim::Word acc_ = 0;
+  NodeId heard_ = 0;
+  bool transmitted_ = false;
+};
+
 }  // namespace mmn

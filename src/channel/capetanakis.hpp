@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/channel.hpp"
@@ -33,6 +34,15 @@ class CapetanakisResolver {
 
   /// True if this node must transmit in the upcoming slot.
   bool should_transmit() const;
+
+  /// The id interval [lo, hi) probed by the upcoming slot, or nullopt once
+  /// the traversal is done.  This is the collision-set bookkeeping hook a
+  /// centralized scheduler (the Capetanakis channel discipline,
+  /// sim/channel_discipline.hpp) uses to pick the contending writers.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> probe() const {
+    if (stack_.empty()) return std::nullopt;
+    return std::make_pair(stack_.back().lo, stack_.back().hi);
+  }
 
   /// Feeds the outcome of the slot everyone just observed.
   /// `success_was_mine` — the caller saw its own id as the slot writer.

@@ -47,7 +47,8 @@ RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
   RunResult result;
   result.realized_n = g.num_nodes();
   if (engine == EngineKind::kSync) {
-    sim::Engine eng(g, s.make_factory(g), seed, std::move(scheduler));
+    sim::Engine eng(g, s.make_factory(g), seed, std::move(scheduler),
+                    sim::make_discipline(s.discipline));
     result.metrics = eng.run(s.max_rounds);
     if (s.digest) {
       result.digest = s.digest(NodeResults{
@@ -59,8 +60,14 @@ RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
   MMN_REQUIRE(s.channel_free,
               "scenario uses the channel and cannot run under the "
               "synchronizer on the asynchronous engine");
+  std::unique_ptr<sim::ChannelDiscipline> discipline =
+      sim::make_discipline(s.discipline);
+  MMN_REQUIRE(!discipline->defers(),
+              "a deferring discipline would falsify the synchronizer's "
+              "idle-slot pulses on the asynchronous engine");
   sim::AsyncEngine eng(g, synchronize(s.make_factory(g)), seed,
-                       s.async_max_delay_slots, std::move(scheduler));
+                       s.async_max_delay_slots, std::move(scheduler),
+                       std::move(discipline));
   result.metrics = eng.run(s.max_rounds);
   result.completed =
       eng.status() == sim::AsyncEngine::RunStatus::kCompleted;
@@ -337,6 +344,141 @@ void register_all() {
     cube_sum.channel_free = true;  // no channel use: async-capable
     cube_sum.async_max_delay_slots = 2;  // messages straddle slot boundaries
     r.add(std::move(cube_sum));
+  }
+
+  // ---- channel-discipline variants (sim/channel_discipline.hpp) ----------
+  //
+  // The contention workloads carry no medium-access logic of their own —
+  // every unresolved node writes every slot — so the registered discipline
+  // is what schedules them.  The unslotted variants run unmodified channel
+  // protocols through the Section 7.2 busy-tone emulation, which preserves
+  // every slot outcome while accounting emergent continuous time.
+
+  {
+    Scenario cape_max{
+        "global/max/cape/ring",
+        "Greedy contenders folding a max, scheduled by Capetanakis splitting",
+        "ring",
+        [](NodeId n, std::uint64_t seed) { return ring(n, seed); },
+        [](const Graph&) -> sim::ProcessFactory {
+          return [](const sim::LocalView& v) {
+            return std::make_unique<ContentionGlobalProcess>(
+                v, SemigroupOp::kMax, static_cast<sim::Word>(v.self % 23) + 1);
+          };
+        },
+        [](const NodeResults& results) {
+          return fold_nodes(results, [](const sim::Process& p, NodeId) {
+            return static_cast<std::uint64_t>(
+                dynamic_cast<const ContentionGlobalProcess&>(p).result());
+          });
+        },
+        {64, 128},
+        7,
+        200'000'000};
+    cape_max.discipline = sim::DisciplineKind::kCapetanakis;
+    r.add(std::move(cape_max));
+  }
+
+  {
+    Scenario tdma_sum{
+        "global/sum/tdma/grid",
+        "Greedy contenders folding a sum, serialized by the TDMA discipline",
+        "grid",
+        square_grid,
+        [](const Graph&) -> sim::ProcessFactory {
+          return [](const sim::LocalView& v) {
+            return std::make_unique<ContentionGlobalProcess>(
+                v, SemigroupOp::kSum, static_cast<sim::Word>(v.self) + 1);
+          };
+        },
+        [](const NodeResults& results) {
+          return fold_nodes(results, [](const sim::Process& p, NodeId) {
+            return static_cast<std::uint64_t>(
+                dynamic_cast<const ContentionGlobalProcess&>(p).result());
+          });
+        },
+        {64, 256},
+        7,
+        200'000'000};
+    tdma_sum.discipline = sim::DisciplineKind::kTdma;
+    r.add(std::move(tdma_sum));
+  }
+
+  {
+    Scenario unslotted_size{
+        "size/unslotted/clique",
+        "Exact network size on a clique over the unslotted busy-tone channel",
+        "complete",
+        [](NodeId n, std::uint64_t seed) { return complete(n, seed); },
+        [](const Graph&) -> sim::ProcessFactory {
+          return [](const sim::LocalView& v) {
+            return std::make_unique<DeterministicSizeProcess>(v);
+          };
+        },
+        [](const NodeResults& results) {
+          return fold_nodes(results, [](const sim::Process& p, NodeId) {
+            return dynamic_cast<const DeterministicSizeProcess&>(p)
+                .network_size();
+          });
+        },
+        {48, 96},
+        7,
+        200'000'000};
+    unslotted_size.discipline = sim::DisciplineKind::kUnslotted;
+    r.add(std::move(unslotted_size));
+  }
+
+  {
+    Scenario unslotted_part{
+        "partition/det/unslotted/random",
+        "Section 3 partition driven over the unslotted busy-tone channel",
+        "random",
+        [](NodeId n, std::uint64_t seed) {
+          return random_connected(n, 2 * n, seed);
+        },
+        [](const Graph&) -> sim::ProcessFactory {
+          return [](const sim::LocalView& v) {
+            return std::make_unique<PartitionDetProcess>(v,
+                                                         PartitionDetConfig{});
+          };
+        },
+        fragment_digest,
+        {64, 256},
+        7,
+        200'000'000};
+    unslotted_part.discipline = sim::DisciplineKind::kUnslotted;
+    r.add(std::move(unslotted_part));
+  }
+
+  {
+    Scenario unslotted_p2p{
+        "global/min/p2p/unslotted/grid",
+        "P2P min fold with the synchronizer's tones on the unslotted channel",
+        "grid",
+        square_grid,
+        [](const Graph&) -> sim::ProcessFactory {
+          P2pGlobalConfig config;
+          config.op = SemigroupOp::kMin;
+          return [config](const sim::LocalView& v) {
+            return std::make_unique<P2pGlobalProcess>(
+                v, config, static_cast<sim::Word>(v.self) + 3);
+          };
+        },
+        [](const NodeResults& results) {
+          return fold_nodes(results, [](const sim::Process& p, NodeId) {
+            return static_cast<std::uint64_t>(
+                dynamic_cast<const P2pGlobalProcess&>(p).result());
+          });
+        },
+        {64, 256},
+        7,
+        200'000'000};
+    // Channel-free workload: on the synchronous engine the unslotted
+    // discipline only idles, but the async run routes the synchronizer's
+    // busy tones through the emulation — the discipline-under-async case.
+    unslotted_p2p.channel_free = true;
+    unslotted_p2p.discipline = sim::DisciplineKind::kUnslotted;
+    r.add(std::move(unslotted_p2p));
   }
 
   r.add(Scenario{

@@ -73,6 +73,12 @@ struct Scenario {
 
   /// Message-delay bound, in slots, for EngineKind::kAsync runs.
   std::uint32_t async_max_delay_slots = 1;
+
+  /// Medium-access policy the run executes under
+  /// (sim/channel_discipline.hpp).  Asynchronous runs go through the
+  /// busy-tone synchronizer, whose idle-slot pulses a deferring discipline
+  /// would falsify — run() rejects kTdma/kCapetanakis there.
+  sim::DisciplineKind discipline = sim::DisciplineKind::kFreeForAll;
 };
 
 struct RunResult {

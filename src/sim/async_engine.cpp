@@ -58,8 +58,9 @@ class AsyncEngine::Context final : public AsyncContext {
 
 AsyncEngine::AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
                          std::uint64_t seed, std::uint32_t max_delay_slots,
-                         std::unique_ptr<Scheduler> scheduler)
-    : core_(g, seed, std::move(scheduler)),
+                         std::unique_ptr<Scheduler> scheduler,
+                         std::unique_ptr<ChannelDiscipline> discipline)
+    : core_(g, seed, std::move(scheduler), std::move(discipline)),
       max_delay_ticks_(max_delay_slots * kTicksPerSlot) {
   MMN_REQUIRE(max_delay_slots >= 1, "max_delay_slots must be >= 1");
   const NodeId n = core_.num_nodes();
@@ -161,12 +162,12 @@ bool AsyncEngine::step(std::uint64_t slots) {
     // the outcome fans out to every node (which may start the next slot's
     // writes and sends).
     run_delivery_phase();
-    const SlotObservation obs = core_.channel().resolve(core_.metrics());
+    const SlotObservation obs = core_.resolve_slot();
     ++core_.metrics().rounds;
     ++slot_index_;
     run_slot_fanout(obs);
     if (all_finished() && core_.slot_buckets().in_flight() == 0 &&
-        core_.channel().writers() == 0) {
+        core_.channel_idle()) {
       status_ = RunStatus::kCompleted;
     }
   }

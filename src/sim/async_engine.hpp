@@ -103,10 +103,14 @@ class AsyncEngine {
 
   /// max_delay_slots >= 1: upper bound on message delay, in slot lengths.
   /// The default scheduler is serial; pass make_scheduler(threads) to shard
-  /// the slot phases over a thread pool (bit-identical results).
+  /// the slot phases over a thread pool (bit-identical results).  A null
+  /// discipline is the free-for-all channel; a non-null one must not defer
+  /// writes if the workload reads idle slots as information (the busy-tone
+  /// synchronizer does — see sim/channel_discipline.hpp).
   AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
               std::uint64_t seed, std::uint32_t max_delay_slots,
-              std::unique_ptr<Scheduler> scheduler = nullptr);
+              std::unique_ptr<Scheduler> scheduler = nullptr,
+              std::unique_ptr<ChannelDiscipline> discipline = nullptr);
   ~AsyncEngine();
 
   AsyncEngine(const AsyncEngine&) = delete;

@@ -12,7 +12,6 @@ void Channel::write(NodeId node, const Packet& packet) {
     first_writer_ = node;
     first_payload_ = packet;
   }
-  last_writer_ = node;
   ++writers_;
 }
 
@@ -32,7 +31,6 @@ SlotObservation Channel::resolve(Metrics& metrics) {
   }
   writers_ = 0;
   first_writer_ = kNoNode;
-  last_writer_ = kNoNode;
   first_payload_ = Packet{};
   return obs;
 }

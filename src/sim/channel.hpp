@@ -29,6 +29,16 @@ struct SlotObservation {
   bool collision() const { return state == SlotState::kCollision; }
 };
 
+/// A channel write staged for end-of-slot resolution, as handed to the
+/// ChannelDiscipline (sim/channel_discipline.hpp).  The discipline receives
+/// the full write list of every slot — the collision set — so no
+/// channel-side bookkeeping of individual writers is needed beyond the
+/// first (the only one whose payload can ever be heard).
+struct ChannelWrite {
+  NodeId node = kNoNode;
+  Packet packet;
+};
+
 class Channel {
  public:
   /// Registers a write for the current slot.  At most one per node per slot.
@@ -44,7 +54,6 @@ class Channel {
   std::uint32_t writers_ = 0;
   NodeId first_writer_ = kNoNode;
   Packet first_payload_;
-  NodeId last_writer_ = kNoNode;
 };
 
 }  // namespace mmn::sim

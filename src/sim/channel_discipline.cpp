@@ -1,0 +1,148 @@
+#include "sim/channel_discipline.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace mmn::sim {
+
+const char* discipline_name(DisciplineKind kind) {
+  switch (kind) {
+    case DisciplineKind::kFreeForAll: return "freeforall";
+    case DisciplineKind::kTdma: return "tdma";
+    case DisciplineKind::kCapetanakis: return "capetanakis";
+    case DisciplineKind::kUnslotted: return "unslotted";
+  }
+  MMN_REQUIRE(false, "unknown discipline kind");
+  return "";
+}
+
+std::unique_ptr<ChannelDiscipline> make_discipline(
+    DisciplineKind kind, const UnslottedConfig& unslotted) {
+  switch (kind) {
+    case DisciplineKind::kFreeForAll:
+      return std::make_unique<FreeForAllDiscipline>();
+    case DisciplineKind::kTdma:
+      return std::make_unique<TdmaDiscipline>();
+    case DisciplineKind::kCapetanakis:
+      return std::make_unique<CapetanakisDiscipline>();
+    case DisciplineKind::kUnslotted:
+      return std::make_unique<UnslottedDiscipline>(unslotted);
+  }
+  MMN_REQUIRE(false, "unknown discipline kind");
+  return nullptr;
+}
+
+// ---- free-for-all ----------------------------------------------------------
+
+SlotObservation FreeForAllDiscipline::slot(std::span<const ChannelWrite> writes,
+                                           Channel& channel, Metrics& metrics) {
+  for (const ChannelWrite& w : writes) channel.write(w.node, w.packet);
+  return channel.resolve(metrics);
+}
+
+// ---- TDMA ------------------------------------------------------------------
+
+void TdmaDiscipline::reset(NodeId n) {
+  MMN_REQUIRE(n >= 1, "TDMA needs at least one station");
+  n_ = n;
+  slot_ = 0;
+  backlog_ = 0;
+  pending_.assign(n, std::nullopt);
+}
+
+SlotObservation TdmaDiscipline::slot(std::span<const ChannelWrite> writes,
+                                     Channel& channel, Metrics& metrics) {
+  for (const ChannelWrite& w : writes) {
+    MMN_REQUIRE(w.node < n_, "writer id out of range");
+    if (!pending_[w.node]) ++backlog_;
+    pending_[w.node] = w.packet;
+  }
+  const NodeId owner = static_cast<NodeId>(slot_ % n_);
+  ++slot_;
+  if (pending_[owner]) {
+    channel.write(owner, *pending_[owner]);
+    pending_[owner].reset();
+    --backlog_;
+  }
+  return channel.resolve(metrics);
+}
+
+// ---- Capetanakis -----------------------------------------------------------
+
+void CapetanakisDiscipline::reset(NodeId n) {
+  MMN_REQUIRE(n >= 1, "tree resolution needs a non-empty id space");
+  n_ = n;
+  epoch_.clear();
+  waiting_.clear();
+  resolver_.reset();
+}
+
+SlotObservation CapetanakisDiscipline::slot(std::span<const ChannelWrite> writes,
+                                            Channel& channel,
+                                            Metrics& metrics) {
+  for (const ChannelWrite& w : writes) {
+    MMN_REQUIRE(w.node < n_, "writer id out of range");
+    // A re-write from an id already scheduled refreshes its payload (the
+    // node re-keys its request); a new id waits for the next epoch so the
+    // running traversal's contender set stays fixed.
+    if (auto it = epoch_.find(w.node); it != epoch_.end()) {
+      it->second = w.packet;
+    } else {
+      waiting_.insert_or_assign(w.node, w.packet);
+    }
+  }
+  if (!resolver_ && !waiting_.empty()) {
+    epoch_ = std::move(waiting_);
+    waiting_.clear();
+    resolver_.emplace(n_, std::nullopt);  // listener copy of the traversal
+  }
+  if (!resolver_) {
+    return channel.resolve(metrics);  // no pending work: the slot idles
+  }
+  const auto probe = resolver_->probe();
+  MMN_ASSERT(probe.has_value(), "live resolver must have a probe interval");
+  for (auto it = epoch_.lower_bound(static_cast<NodeId>(probe->first));
+       it != epoch_.end() && it->first < probe->second; ++it) {
+    channel.write(it->first, it->second);
+  }
+  const SlotObservation obs = channel.resolve(metrics);
+  resolver_->observe(obs);
+  if (obs.success()) epoch_.erase(obs.writer);
+  if (resolver_->done()) {
+    MMN_ASSERT(epoch_.empty(), "traversal ended with unresolved contenders");
+    resolver_.reset();
+  }
+  return obs;
+}
+
+// ---- unslotted busy-tone emulation -----------------------------------------
+
+void UnslottedDiscipline::reset(NodeId n) {
+  MMN_REQUIRE(n >= 1, "need at least one station");
+  MMN_REQUIRE(config_.transmit_ticks >= 1, "transmissions need positive length");
+  MMN_REQUIRE(config_.idle_gap_ticks >= 1, "idle gap must be positive");
+  n_ = n;
+  boundary_ = 0;
+  rng_ = Rng(config_.seed);
+}
+
+SlotObservation UnslottedDiscipline::slot(std::span<const ChannelWrite> writes,
+                                          Channel& channel, Metrics& metrics) {
+  // The shared continuous-time envelope step (sim/unslotted.hpp): per-writer
+  // reaction jitter, fixed transmission lengths, boundary one idle gap after
+  // the last carrier drops.  Containment holds by construction — every
+  // start lies strictly after the boundary, every end strictly before the
+  // next.
+  for (const ChannelWrite& w : writes) {
+    MMN_REQUIRE(w.node < n_, "writer id out of range");
+    channel.write(w.node, w.packet);
+  }
+  boundary_ = unslotted_envelope_step(boundary_, writes.size(), config_, rng_);
+  metrics.channel_ticks = boundary_;  // boundary_ is the cumulative envelope
+  // Listeners count carriers between the emergent boundaries; that derived
+  // outcome equals the ideally slotted one (the Section 7.2 equivalence).
+  return channel.resolve(metrics);
+}
+
+}  // namespace mmn::sim

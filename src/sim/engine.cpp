@@ -57,8 +57,9 @@ Engine::Engine(const Graph& g, const ProcessFactory& factory,
     : Engine(g, factory, seed, nullptr) {}
 
 Engine::Engine(const Graph& g, const ProcessFactory& factory,
-               std::uint64_t seed, std::unique_ptr<Scheduler> scheduler)
-    : core_(g, seed, std::move(scheduler)) {
+               std::uint64_t seed, std::unique_ptr<Scheduler> scheduler,
+               std::unique_ptr<ChannelDiscipline> discipline)
+    : core_(g, seed, std::move(scheduler), std::move(discipline)) {
   const NodeId n = core_.num_nodes();
   processes_.reserve(n);
   finished_flag_.reserve(n);
@@ -100,11 +101,15 @@ void Engine::run_one_round() {
 }
 
 bool Engine::step(std::uint64_t rounds) {
+  // Like AsyncEngine, completion additionally requires an idle channel: a
+  // deferring discipline (TDMA, Capetanakis) may still hold a write that
+  // was registered but not yet transmitted, and dropping it would silently
+  // diverge from the non-deferring run of the same workload.
   for (std::uint64_t i = 0; i < rounds; ++i) {
-    if (all_finished()) return true;
+    if (all_finished() && core_.channel_idle()) return true;
     run_one_round();
   }
-  return all_finished();
+  return all_finished() && core_.channel_idle();
 }
 
 Metrics Engine::run(std::uint64_t max_rounds) {

@@ -37,19 +37,26 @@ class Engine {
  public:
   /// Builds the network: one process per node of g.  The default scheduler
   /// is serial; pass make_scheduler(threads) to shard rounds over a pool.
+  /// A null discipline is the free-for-all channel (the seed behavior);
+  /// pass make_discipline(kind) to run the workload under TDMA, Capetanakis
+  /// tree scheduling, or the unslotted busy-tone emulation
+  /// (sim/channel_discipline.hpp).
   Engine(const Graph& g, const ProcessFactory& factory, std::uint64_t seed);
   Engine(const Graph& g, const ProcessFactory& factory, std::uint64_t seed,
-         std::unique_ptr<Scheduler> scheduler);
+         std::unique_ptr<Scheduler> scheduler,
+         std::unique_ptr<ChannelDiscipline> discipline = nullptr);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Runs until every process is finished; aborts if max_rounds elapse first
-  /// (a liveness failure in the protocol under test).
+  /// Runs until every process is finished and the channel is idle (no write
+  /// staged, nothing deferred inside the discipline); aborts if max_rounds
+  /// elapse first (a liveness failure in the protocol under test).
   Metrics run(std::uint64_t max_rounds);
 
-  /// Runs at most `rounds` additional rounds; returns true if all finished.
+  /// Runs at most `rounds` additional rounds; returns true if all finished
+  /// and the channel is idle.
   bool step(std::uint64_t rounds);
 
   const Metrics& metrics() const { return core_.metrics(); }

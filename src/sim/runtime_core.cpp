@@ -96,9 +96,12 @@ std::size_t SlotBuckets::stage(std::uint64_t slot) {
 }
 
 RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
-                         std::unique_ptr<Scheduler> scheduler)
+                         std::unique_ptr<Scheduler> scheduler,
+                         std::unique_ptr<ChannelDiscipline> discipline)
     : scheduler_(scheduler ? std::move(scheduler)
-                           : std::make_unique<SerialScheduler>()) {
+                           : std::make_unique<SerialScheduler>()),
+      discipline_(discipline ? std::move(discipline)
+                             : std::make_unique<FreeForAllDiscipline>()) {
   const NodeId n = g.num_nodes();
   views_.resize(n);
   rngs_.reserve(n);
@@ -115,19 +118,27 @@ RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
   }
   shards_.resize(scheduler_->shards());
   arena_.reset(n);
+  discipline_->reset(n);
+}
+
+SlotObservation RuntimeCore::resolve_slot() {
+  const SlotObservation obs =
+      discipline_->slot(slot_writes_, channel_, metrics_);
+  slot_writes_.clear();
+  return obs;
 }
 
 std::int64_t RuntimeCore::run_round(const Scheduler::NodeFn& fn) {
   scheduler_->for_each_node(num_nodes(), fn);
   std::int64_t finished_delta = 0;
   for (ShardBuffer& sb : shards_) {
-    for (const ChannelWrite& w : sb.channel_writes) {
-      channel_.write(w.node, w.packet);
+    for (ChannelWrite& w : sb.channel_writes) {
+      slot_writes_.push_back(std::move(w));
     }
     metrics_.p2p_messages += sb.p2p_sent;
     finished_delta += sb.finished_delta;
   }
-  slot_ = channel_.resolve(metrics_);
+  slot_ = resolve_slot();
   arena_.flip(shards_);  // also clears the shard outboxes
   for (ShardBuffer& sb : shards_) sb.clear_round();
   ++round_;
@@ -138,8 +149,8 @@ std::int64_t RuntimeCore::run_round(const Scheduler::NodeFn& fn) {
 std::int64_t RuntimeCore::commit_async_phase() {
   std::int64_t finished_delta = 0;
   for (ShardBuffer& sb : shards_) {
-    for (const ChannelWrite& w : sb.channel_writes) {
-      channel_.write(w.node, w.packet);
+    for (ChannelWrite& w : sb.channel_writes) {
+      slot_writes_.push_back(std::move(w));
     }
     for (AsyncSend& send : sb.async_outbox) {
       slot_buckets_.push(std::move(send));

@@ -25,6 +25,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/channel.hpp"
+#include "sim/channel_discipline.hpp"
 #include "sim/message.hpp"
 #include "sim/scheduler.hpp"
 #include "support/metrics.hpp"
@@ -136,12 +137,6 @@ struct AsyncSend {
   Received msg;
 };
 
-/// A channel write staged for end-of-round resolution.
-struct ChannelWrite {
-  NodeId node = kNoNode;
-  Packet packet;
-};
-
 /// Externally visible effects of one shard's nodes during one round (or one
 /// asynchronous slot phase).  Nodes of one shard run sequentially, so no
 /// synchronization is needed; the core merges shards in ascending order
@@ -247,9 +242,11 @@ class SlotBuckets {
 class RuntimeCore {
  public:
   /// Builds views (finalized), per-node RNG streams forked from `seed`, the
-  /// channel, metrics, and the message arena.  A null scheduler means serial.
+  /// channel, metrics, and the message arena.  A null scheduler means serial;
+  /// a null discipline means free-for-all (the bare Section 2 channel).
   RuntimeCore(const Graph& g, std::uint64_t seed,
-              std::unique_ptr<Scheduler> scheduler = nullptr);
+              std::unique_ptr<Scheduler> scheduler = nullptr,
+              std::unique_ptr<ChannelDiscipline> discipline = nullptr);
 
   RuntimeCore(const RuntimeCore&) = delete;
   RuntimeCore& operator=(const RuntimeCore&) = delete;
@@ -272,6 +269,19 @@ class RuntimeCore {
   /// Returns the net change in the number of finished nodes.
   std::int64_t run_round(const Scheduler::NodeFn& fn);
 
+  /// Resolves the current slot through the channel discipline: the staged
+  /// writes (ascending commit order = ascending node order within the slot)
+  /// are handed to the policy, which picks the contenders and resolves.
+  /// Used by run_round internally; the asynchronous policy calls it at each
+  /// slot boundary.
+  SlotObservation resolve_slot();
+
+  /// True when no channel work is outstanding: no write staged for the
+  /// current slot and nothing deferred inside the discipline.
+  bool channel_idle() const {
+    return slot_writes_.empty() && discipline_->backlog() == 0;
+  }
+
   /// The asynchronous policy's bucket store; inert until its reset().
   SlotBuckets& slot_buckets() { return slot_buckets_; }
 
@@ -287,10 +297,12 @@ class RuntimeCore {
   std::vector<LocalView> views_;
   std::vector<Rng> rngs_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<ChannelDiscipline> discipline_;
   std::vector<ShardBuffer> shards_;
   MessageArena arena_;
   SlotBuckets slot_buckets_;
   Channel channel_;
+  std::vector<ChannelWrite> slot_writes_;  // staged for the current slot
   SlotObservation slot_;  // outcome of the previous round's slot
   Metrics metrics_;
   std::uint64_t round_ = 0;

@@ -8,6 +8,29 @@
 
 namespace mmn::sim {
 
+std::uint64_t unslotted_envelope_step(
+    std::uint64_t boundary, std::size_t num_writers,
+    const UnslottedConfig& config, Rng& rng,
+    const std::function<void(std::size_t, std::uint64_t, std::uint64_t)>&
+        on_transmission) {
+  std::uint64_t busy_until = boundary;  // end of the busy-tone envelope
+  for (std::size_t i = 0; i < num_writers; ++i) {
+    // reaction_delay_max == 0 models perfectly synchronized stations:
+    // everyone keys up exactly one tick after the boundary.
+    const std::uint64_t jitter =
+        config.reaction_delay_max == 0
+            ? 0
+            : rng.next_below(config.reaction_delay_max);
+    const std::uint64_t start = boundary + 1 + jitter;
+    const std::uint64_t end = start + config.transmit_ticks;
+    if (on_transmission) on_transmission(i, start, end);
+    busy_until = std::max(busy_until, end);
+  }
+  // The slot ends one idle gap after the last carrier drops; with no writer
+  // the gap elapses immediately after the boundary.
+  return busy_until + config.idle_gap_ticks;
+}
+
 UnslottedRun run_unslotted(
     NodeId stations, const std::vector<std::vector<NodeId>>& writers_per_slot,
     const UnslottedConfig& config) {
@@ -27,22 +50,11 @@ UnslottedRun run_unslotted(
     // Each active station wakes up after its personal reaction delay,
     // transmits data for transmit_ticks, and holds the side-channel busy
     // tone for exactly that interval.
-    std::uint64_t busy_until = boundary;  // end of the busy-tone envelope
-    for (NodeId w : writers) {
-      // reaction_delay_max == 0 models perfectly synchronized stations:
-      // everyone keys up exactly one tick after the boundary.
-      const std::uint64_t jitter =
-          config.reaction_delay_max == 0
-              ? 0
-              : rng.next_below(config.reaction_delay_max);
-      const std::uint64_t start = boundary + 1 + jitter;
-      const std::uint64_t end = start + config.transmit_ticks;
-      run.transmissions.push_back(Transmission{w, s, start, end});
-      busy_until = std::max(busy_until, end);
-    }
-    // The slot ends one idle gap after the last carrier drops; with no
-    // writer the gap elapses immediately after the boundary.
-    boundary = busy_until + config.idle_gap_ticks;
+    boundary = unslotted_envelope_step(
+        boundary, writers.size(), config, rng,
+        [&](std::size_t i, std::uint64_t start, std::uint64_t end) {
+          run.transmissions.push_back(Transmission{writers[i], s, start, end});
+        });
 
     // Listeners attribute everything between the two boundaries to slot s
     // and count carriers: zero, one, or more than one.

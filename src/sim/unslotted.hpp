@@ -23,10 +23,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/channel.hpp"
+#include "support/rng.hpp"
 
 namespace mmn::sim {
 
@@ -62,6 +64,21 @@ struct UnslottedRun {
   /// Every data transmission, for containment checking.
   std::vector<Transmission> transmissions;
 };
+
+/// One slot of the emergent busy-tone envelope, shared by run_unslotted and
+/// the UnslottedDiscipline (sim/channel_discipline.hpp): each of the
+/// `num_writers` active stations keys up one tick after `boundary` plus its
+/// personal reaction jitter drawn from `rng` (in index order), and holds the
+/// carrier for transmit_ticks.  Returns the next boundary — one idle gap
+/// after the last carrier drops, or after `boundary` directly when the slot
+/// is idle.  `on_transmission`, if non-null, receives each transmission's
+/// (writer index, start tick, end tick).  `config` must already be
+/// validated (positive transmit and gap lengths).
+std::uint64_t unslotted_envelope_step(
+    std::uint64_t boundary, std::size_t num_writers,
+    const UnslottedConfig& config, Rng& rng,
+    const std::function<void(std::size_t index, std::uint64_t start,
+                             std::uint64_t end)>& on_transmission = {});
 
 /// Simulates `writers_per_slot.size()` logical slots on the unslotted
 /// channel; writers_per_slot[s] lists the stations transmitting data in

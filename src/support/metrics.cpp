@@ -10,6 +10,7 @@ Metrics& Metrics::operator+=(const Metrics& other) {
   slots_idle += other.slots_idle;
   slots_success += other.slots_success;
   slots_collision += other.slots_collision;
+  channel_ticks += other.channel_ticks;
   return *this;
 }
 
@@ -23,6 +24,7 @@ std::string Metrics::to_string() const {
   os << "rounds=" << rounds << " msgs=" << p2p_messages
      << " slots(idle/succ/coll)=" << slots_idle << '/' << slots_success << '/'
      << slots_collision;
+  if (channel_ticks > 0) os << " ticks=" << channel_ticks;
   return os.str();
 }
 

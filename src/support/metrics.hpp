@@ -18,6 +18,11 @@ struct Metrics {
   std::uint64_t slots_success = 0;  ///< channel slots with one writer
   std::uint64_t slots_collision = 0;  ///< channel slots with >= 2 writers
 
+  /// Emergent continuous time consumed on the unslotted channel
+  /// (sim/channel_discipline.hpp), in ticks; 0 under slotted disciplines,
+  /// where rounds is the only clock.
+  std::uint64_t channel_ticks = 0;
+
   /// Channel slots actually used by some writer (success + collision).
   std::uint64_t slots_busy() const { return slots_success + slots_collision; }
 

@@ -1,0 +1,291 @@
+// Channel disciplines (sim/channel_discipline.hpp).
+//
+// Three families of guarantees:
+//   * agreement — for a writer schedule with no collisions (and, for TDMA,
+//     slot-aligned writers), every discipline yields the identical slot
+//     outcome sequence, unit-level and engine-level;
+//   * analytic slot counts — TDMA resolves k greedy contenders within one
+//     cycle of n slots with zero collisions, and Capetanakis resolves the
+//     full id set in exactly 2n - 1 probe slots (n successes, n - 1
+//     collisions), both on hand-checked small cases;
+//   * unslotted accounting — the busy-tone emulation preserves every
+//     outcome of the free-for-all channel while its emergent tick envelope
+//     follows the no-jitter formula exactly.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/broadcast_global.hpp"
+#include "graph/generators.hpp"
+#include "sim/channel_discipline.hpp"
+#include "sim/engine.hpp"
+
+namespace mmn {
+namespace {
+
+constexpr sim::DisciplineKind kAllKinds[] = {
+    sim::DisciplineKind::kFreeForAll, sim::DisciplineKind::kTdma,
+    sim::DisciplineKind::kCapetanakis, sim::DisciplineKind::kUnslotted};
+
+/// Drives one discipline over a hand-built per-slot write schedule.
+std::vector<sim::SlotObservation> drive(sim::ChannelDiscipline& d, NodeId n,
+                                        const std::vector<std::vector<NodeId>>&
+                                            writers_per_slot) {
+  d.reset(n);
+  sim::Channel channel;
+  Metrics metrics;
+  std::vector<sim::SlotObservation> out;
+  for (const auto& writers : writers_per_slot) {
+    std::vector<sim::ChannelWrite> writes;
+    for (NodeId w : writers) {
+      writes.push_back(sim::ChannelWrite{w, sim::Packet(1, {sim::Word{w}})});
+    }
+    out.push_back(d.slot(writes, channel, metrics));
+  }
+  EXPECT_EQ(d.backlog(), 0u);
+  return out;
+}
+
+// --- agreement -------------------------------------------------------------
+
+TEST(ChannelDiscipline, CollisionFreeScheduleIdenticalAcrossDisciplines) {
+  // Writers aligned with the TDMA ownership (writer v in a slot s with
+  // s % n == v) and never more than one per slot: nothing for any policy to
+  // schedule, so all four must agree slot by slot.
+  constexpr NodeId kN = 8;
+  const std::vector<std::vector<NodeId>> schedule = {
+      {0}, {1}, {}, {3}, {}, {5}, {6}, {}, {0}, {}, {2}, {3}};
+  const std::vector<sim::SlotObservation> reference =
+      drive(*sim::make_discipline(sim::DisciplineKind::kFreeForAll), kN,
+            schedule);
+  for (sim::DisciplineKind kind : kAllKinds) {
+    auto d = sim::make_discipline(kind);
+    const std::vector<sim::SlotObservation> got = drive(*d, kN, schedule);
+    ASSERT_EQ(got.size(), reference.size()) << d->name();
+    for (std::size_t s = 0; s < reference.size(); ++s) {
+      EXPECT_EQ(got[s].state, reference[s].state) << d->name() << " slot " << s;
+      EXPECT_EQ(got[s].writer, reference[s].writer) << d->name() << " slot " << s;
+      EXPECT_TRUE(got[s].payload == reference[s].payload)
+          << d->name() << " slot " << s;
+    }
+  }
+}
+
+TEST(ChannelDiscipline, SelfScheduledWorkloadIdenticalUnderEveryDiscipline) {
+  // BroadcastGlobalProcess implements its own TDMA schedule (node v writes
+  // in round v), so its write pattern is collision-free and slot-aligned:
+  // every discipline must reproduce the free-for-all run bit for bit.
+  const Graph g = complete(24, 5);
+  const auto factory = [](const sim::LocalView& v) {
+    return std::make_unique<BroadcastGlobalProcess>(
+        v, SemigroupOp::kSum, static_cast<sim::Word>(v.self) + 1);
+  };
+  sim::Engine reference(g, factory, 5);
+  const Metrics want = reference.run(1000);
+  const sim::Word want_result =
+      static_cast<const BroadcastGlobalProcess&>(reference.process(0)).result();
+  for (sim::DisciplineKind kind : kAllKinds) {
+    sim::Engine engine(g, factory, 5, nullptr, sim::make_discipline(kind));
+    Metrics got = engine.run(1000);
+    // channel_ticks is the one intentional difference: only the unslotted
+    // emulation runs an emergent continuous-time clock alongside the
+    // (identical) slot outcomes.
+    if (kind == sim::DisciplineKind::kUnslotted) {
+      EXPECT_GT(got.channel_ticks, 0u);
+      got.channel_ticks = 0;
+    }
+    EXPECT_TRUE(got == want)
+        << sim::discipline_name(kind) << "\nwant: " << want.to_string()
+        << "\ngot:  " << got.to_string();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(static_cast<const BroadcastGlobalProcess&>(engine.process(v))
+                    .result(),
+                want_result)
+          << sim::discipline_name(kind) << " node " << v;
+    }
+  }
+}
+
+// --- analytic slot counts --------------------------------------------------
+
+/// Runs n greedy contenders (ContentionGlobalProcess, inputs 1..n, sum)
+/// under `kind`; every node must compute the full fold n(n+1)/2.  The
+/// workload never touches the links, so any connected topology does.
+Metrics run_contenders(NodeId n, sim::DisciplineKind kind) {
+  const Graph g = complete(n, 3);
+  const auto factory = [](const sim::LocalView& v) {
+    return std::make_unique<ContentionGlobalProcess>(
+        v, SemigroupOp::kSum, static_cast<sim::Word>(v.self) + 1);
+  };
+  sim::Engine engine(g, factory, 3, nullptr, sim::make_discipline(kind));
+  const Metrics m = engine.run(10'000);
+  const sim::Word want = static_cast<sim::Word>(n) * (n + 1) / 2;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(static_cast<const ContentionGlobalProcess&>(engine.process(v))
+                  .result(),
+              want)
+        << "node " << v;
+  }
+  return m;
+}
+
+TEST(ChannelDiscipline, TdmaResolvesAllContendersInOneCycle) {
+  // n greedy contenders, all writing from round 0: slot v hands the medium
+  // to node v, so every slot of the first cycle is a success and nothing
+  // ever collides.  Round n observes the last success; its own slot idles.
+  for (NodeId n : {2u, 4u, 7u}) {
+    const Metrics m = run_contenders(n, sim::DisciplineKind::kTdma);
+    EXPECT_EQ(m.slots_success, n) << n;
+    EXPECT_EQ(m.slots_collision, 0u) << n;
+    EXPECT_EQ(m.slots_idle, 1u) << n;
+    EXPECT_EQ(m.rounds, std::uint64_t{n} + 1) << n;
+  }
+}
+
+TEST(ChannelDiscipline, CapetanakisHandCheckedSlotCounts) {
+  // All n ids contend, so the depth-first traversal probes every internal
+  // node of the id-space tree: 2n - 1 slots — n successes, n - 1 collisions
+  // (each internal interval holds >= 2 pending ids).  Hand-checked for
+  // n = 4: [0,4)x, [0,2)x, [0,1)ok, [1,2)ok, [2,4)x, [2,3)ok, [3,4)ok.
+  // One trailing idle slot while the last success is observed.
+  for (NodeId n : {2u, 4u, 8u}) {
+    const Metrics m = run_contenders(n, sim::DisciplineKind::kCapetanakis);
+    EXPECT_EQ(m.slots_success, n) << n;
+    EXPECT_EQ(m.slots_collision, std::uint64_t{n} - 1) << n;
+    EXPECT_EQ(m.slots_idle, 1u) << n;
+    EXPECT_EQ(m.rounds, 2 * std::uint64_t{n}) << n;
+  }
+}
+
+TEST(ChannelDiscipline, CapetanakisBatchesMidEpochArrivalsIntoNextEpoch) {
+  // Ids 0 and 3 contend from slot 0; id 1 arrives mid-traversal and must
+  // wait for the second epoch.  Epoch 1 over {0, 3}: [0,4) collision,
+  // [0,2) success(0), [2,4) success(3) — 3 slots.  Epoch 2 over {1}:
+  // [0,4) success(1) — 1 slot.
+  auto d = sim::make_discipline(sim::DisciplineKind::kCapetanakis);
+  const std::vector<sim::SlotObservation> got =
+      drive(*d, 4, {{0, 3}, {1}, {}, {}});
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_TRUE(got[0].collision());
+  EXPECT_TRUE(got[1].success());
+  EXPECT_EQ(got[1].writer, 0u);
+  EXPECT_TRUE(got[2].success());
+  EXPECT_EQ(got[2].writer, 3u);
+  EXPECT_TRUE(got[3].success());
+  EXPECT_EQ(got[3].writer, 1u);
+}
+
+TEST(ChannelDiscipline, ProbeExposesTheTraversalInterval) {
+  CapetanakisResolver resolver(8, std::nullopt);
+  ASSERT_TRUE(resolver.probe().has_value());
+  EXPECT_EQ(*resolver.probe(), std::make_pair(std::uint64_t{0},
+                                              std::uint64_t{8}));
+  sim::SlotObservation collision;
+  collision.state = sim::SlotState::kCollision;
+  resolver.observe(collision);
+  EXPECT_EQ(*resolver.probe(), std::make_pair(std::uint64_t{0},
+                                              std::uint64_t{4}));
+  sim::SlotObservation idle;
+  resolver.observe(idle);  // [0,4) idle -> probe the right half
+  EXPECT_EQ(*resolver.probe(), std::make_pair(std::uint64_t{4},
+                                              std::uint64_t{8}));
+}
+
+// --- unslotted accounting --------------------------------------------------
+
+TEST(ChannelDiscipline, UnslottedPreservesOutcomesAndAccountsTicks) {
+  sim::UnslottedConfig config;
+  config.reaction_delay_max = 0;  // no jitter: the envelope is exact
+  config.transmit_ticks = 32;
+  config.idle_gap_ticks = 4;
+  sim::UnslottedDiscipline d(config);
+  const std::vector<std::vector<NodeId>> schedule = {
+      {0}, {1, 2}, {}, {3}, {0, 1, 2, 3}, {}};
+  const std::vector<sim::SlotObservation> reference =
+      drive(*sim::make_discipline(sim::DisciplineKind::kFreeForAll), 4,
+            schedule);
+  d.reset(4);
+  sim::Channel channel;
+  Metrics metrics;
+  std::uint64_t want_ticks = 0;
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    std::vector<sim::ChannelWrite> writes;
+    for (NodeId w : schedule[s]) {
+      writes.push_back(sim::ChannelWrite{w, sim::Packet(1)});
+    }
+    const sim::SlotObservation obs = d.slot(writes, channel, metrics);
+    EXPECT_EQ(obs.state, reference[s].state) << "slot " << s;
+    // No jitter: every active station keys up one tick after the boundary
+    // and holds for transmit_ticks; an idle slot is just the gap.
+    want_ticks += schedule[s].empty()
+                      ? config.idle_gap_ticks
+                      : 1 + config.transmit_ticks + config.idle_gap_ticks;
+    EXPECT_EQ(d.ticks(), want_ticks) << "slot " << s;
+    EXPECT_EQ(metrics.channel_ticks, want_ticks) << "slot " << s;
+  }
+}
+
+/// Writes once in round 0 and immediately reports finished — the worst case
+/// for a deferring discipline, which still holds the write as backlog when
+/// every process is done.
+class FireAndForgetProcess final : public sim::Process {
+ public:
+  explicit FireAndForgetProcess(const sim::LocalView& view) : view_(view) {}
+
+  void round(sim::NodeContext& ctx) override {
+    if (!sent_) {
+      ctx.channel_write(sim::Packet(1, {sim::Word{view_.self}}));
+      sent_ = true;
+    }
+  }
+  bool finished() const override { return sent_; }
+
+ private:
+  const sim::LocalView& view_;
+  bool sent_ = false;
+};
+
+TEST(ChannelDiscipline, SyncEngineDrainsDeferredBacklogBeforeCompleting) {
+  // All n fire-and-forget writes land in round 0.  Free-for-all resolves
+  // them as one collision; a deferring discipline must keep the engine
+  // running past all_finished() until every deferred write has actually
+  // been transmitted (TDMA: one success per owned slot; Capetanakis: the
+  // 2n - 1 probe traversal), instead of silently dropping the backlog.
+  constexpr NodeId kN = 4;
+  const Graph g = complete(kN, 11);
+  const auto factory = [](const sim::LocalView& v) {
+    return std::make_unique<FireAndForgetProcess>(v);
+  };
+  {
+    sim::Engine engine(g, factory, 11, nullptr,
+                       sim::make_discipline(sim::DisciplineKind::kFreeForAll));
+    const Metrics m = engine.run(100);
+    EXPECT_EQ(m.slots_collision, 1u);
+    EXPECT_EQ(m.slots_success, 0u);
+  }
+  {
+    sim::Engine engine(g, factory, 11, nullptr,
+                       sim::make_discipline(sim::DisciplineKind::kTdma));
+    const Metrics m = engine.run(100);
+    EXPECT_EQ(m.slots_success, kN);
+    EXPECT_EQ(m.slots_collision, 0u);
+  }
+  {
+    sim::Engine engine(g, factory, 11, nullptr,
+                       sim::make_discipline(sim::DisciplineKind::kCapetanakis));
+    const Metrics m = engine.run(100);
+    EXPECT_EQ(m.slots_success, kN);
+    EXPECT_EQ(m.slots_collision, std::uint64_t{kN} - 1);
+  }
+}
+
+TEST(ChannelDiscipline, DeferringPolicyFlagsMatchBehavior) {
+  EXPECT_FALSE(sim::make_discipline(sim::DisciplineKind::kFreeForAll)->defers());
+  EXPECT_FALSE(sim::make_discipline(sim::DisciplineKind::kUnslotted)->defers());
+  EXPECT_TRUE(sim::make_discipline(sim::DisciplineKind::kTdma)->defers());
+  EXPECT_TRUE(sim::make_discipline(sim::DisciplineKind::kCapetanakis)->defers());
+}
+
+}  // namespace
+}  // namespace mmn

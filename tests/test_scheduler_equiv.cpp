@@ -40,7 +40,15 @@ constexpr unsigned kThreadCounts[] = {2, 4, 8};
 TEST(SchedulerEquivalence, AllScenariosMatchSerialAcrossThreadCounts) {
   scenario::register_builtin();
   const auto& scenarios = scenario::Registry::instance().all();
-  ASSERT_GE(scenarios.size(), 6u);
+  // The registry must keep its discipline-variant entries (TDMA,
+  // Capetanakis, unslotted) so this suite holds every ChannelDiscipline to
+  // scheduler independence, not just the free-for-all channel.
+  ASSERT_GE(scenarios.size(), 16u);
+  int disciplined = 0;
+  for (const scenario::Scenario& s : scenarios) {
+    if (s.discipline != sim::DisciplineKind::kFreeForAll) ++disciplined;
+  }
+  ASSERT_GE(disciplined, 4);
   for (const scenario::Scenario& s : scenarios) {
     const NodeId n = s.sweep_n.front();
     const scenario::RunResult serial = scenario::run(s, n, s.default_seed);
@@ -150,9 +158,10 @@ TEST(SchedulerEquivalence, AsyncScenariosMatchSerialAcrossThreadCounts) {
           << " threads: per-node results diverged";
     }
   }
-  // The registry must keep at least two async-capable workloads so this
-  // suite stays meaningful.
-  EXPECT_GE(async_capable, 2);
+  // The registry must keep at least three async-capable workloads — one of
+  // them under a non-trivial (unslotted) discipline, so the async engine's
+  // discipline path is exercised here too.
+  EXPECT_GE(async_capable, 3);
 }
 
 // Golden pinned-seed traces captured from the PRE-refactor AsyncEngine (the

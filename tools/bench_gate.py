@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over google-benchmark JSON output.
+
+Compares a fresh BENCH_*.json against the committed baseline
+(bench/baseline/) and fails when a gated benchmark's throughput counter
+dropped by more than --tolerance (default 25%).  Gated benchmarks are the
+ones whose name starts with one of the --prefix values; everything else is
+reported but never fails the gate (absolute wall-clock of full scenario
+runs is too machine-dependent to gate, the hot-path counters are not).
+
+Usage:
+  tools/bench_gate.py --baseline bench/baseline/BENCH_sim_throughput.json \
+                      --fresh BENCH_sim_throughput.json \
+                      [--prefix channel/resolve --prefix sched/ ...] \
+                      [--tolerance 0.25]
+
+Both files may carry google-benchmark repetitions (--benchmark_repetitions);
+the gate then compares the per-name *median* throughput, which is what makes
+a sub-100ns microbenchmark like channel/resolve gateable on noisy runners.
+
+Absolute throughput is only comparable between like machines, so the gate
+ARMS itself by comparing the google-benchmark context of the two files: when
+the CPU shape differs (num_cpus exact, mhz_per_cpu within 15% — clocks
+fluctuate run to run on hosted pools), regressions are reported as
+warnings and the exit stays 0, with instructions to commit a baseline
+captured on the current runner shape (pass --strict to fail anyway).  The
+steady state for CI is therefore: download a bench-json artifact from a
+green run on the target runner pool, commit it as the baseline, and from
+then on the gate fails real hot-path regressions on that pool.
+
+Refreshing the baseline after an intentional perf change:
+  ./build/bench_sim_throughput --json --benchmark_repetitions=3 \
+      --benchmark_filter='channel/resolve|discipline/|sched/'
+  cp BENCH_sim_throughput.json bench/baseline/
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Counters that represent throughput (higher is better); the first one
+# present on a benchmark entry is gated.
+THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "items_per_second")
+
+DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/")
+
+
+def load_benchmarks(path):
+    """Returns (context, {name -> list of iteration entries})."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); the gate
+        # computes its own median over the iteration rows.
+        if bench.get("run_type") == "aggregate":
+            continue
+        out.setdefault(bench["name"], []).append(bench)
+    return doc.get("context", {}), out
+
+
+def machine_shape(context):
+    return (context.get("num_cpus"), context.get("mhz_per_cpu"))
+
+
+def shapes_compatible(a, b):
+    """num_cpus must match exactly; clocks within 15% count as the same
+    machine shape — mhz_per_cpu fluctuates run to run on hosted runner
+    pools, and strict equality would leave the gate permanently advisory
+    there."""
+    if a[0] != b[0] or a[0] is None:
+        return False
+    mhz_a, mhz_b = a[1], b[1]
+    if not mhz_a or not mhz_b:
+        return mhz_a == mhz_b
+    return abs(mhz_a - mhz_b) / max(mhz_a, mhz_b) <= 0.15
+
+
+def throughput(benches):
+    """Median throughput across repetitions of one benchmark name."""
+    for counter in THROUGHPUT_COUNTERS:
+        values = [float(b[counter]) for b in benches
+                  if isinstance(b.get(counter), (int, float))]
+        if values:
+            return counter, statistics.median(values)
+    return None, None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument(
+        "--prefix", action="append", default=None,
+        help="gated benchmark-name prefix (repeatable); default: %s"
+        % (DEFAULT_PREFIXES,))
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional throughput drop (default 0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on regressions even when the baseline was "
+                             "captured on a different machine shape")
+    args = parser.parse_args()
+    prefixes = tuple(args.prefix) if args.prefix else DEFAULT_PREFIXES
+
+    base_context, baseline = load_benchmarks(args.baseline)
+    fresh_context, fresh = load_benchmarks(args.fresh)
+    armed = args.strict or shapes_compatible(machine_shape(base_context),
+                                             machine_shape(fresh_context))
+
+    failures = []
+    rows = []
+    for name, base_bench in sorted(baseline.items()):
+        gated = any(name.startswith(p) for p in prefixes)
+        counter, base_value = throughput(base_bench)
+        if counter is None:
+            continue
+        fresh_bench = fresh.get(name)
+        if fresh_bench is None:
+            rows.append((name, counter, base_value, None, None, gated))
+            if gated:
+                failures.append("%s: gated benchmark missing from fresh run"
+                                % name)
+            continue
+        fresh_counter, fresh_value = throughput(fresh_bench)
+        if fresh_value is None:
+            if gated:
+                failures.append("%s: fresh run lost its throughput counter"
+                                % name)
+            continue
+        if fresh_counter != counter:
+            # A ratio across different counters is meaningless; treat a
+            # renamed counter like a lost one instead of comparing units.
+            if gated:
+                failures.append(
+                    "%s: throughput counter changed (%s -> %s); refresh the "
+                    "baseline" % (name, counter, fresh_counter))
+            continue
+        ratio = fresh_value / base_value if base_value > 0 else float("inf")
+        rows.append((name, counter, base_value, fresh_value, ratio, gated))
+        if gated and ratio < 1.0 - args.tolerance:
+            failures.append(
+                "%s: %s dropped %.1f%% (baseline %.3g, fresh %.3g; "
+                "tolerance %.0f%%)"
+                % (name, counter, (1.0 - ratio) * 100.0, base_value,
+                   fresh_value, args.tolerance * 100.0))
+
+    new_names = sorted(set(fresh) - set(baseline))
+
+    print("%-44s %-12s %12s %12s %8s  %s"
+          % ("benchmark", "counter", "baseline", "fresh", "ratio", "gate"))
+    for name, counter, base_value, fresh_value, ratio, gated in rows:
+        print("%-44s %-12s %12.4g %12s %8s  %s"
+              % (name, counter, base_value,
+                 "%.4g" % fresh_value if fresh_value is not None else "-",
+                 "%.2f" % ratio if ratio is not None else "-",
+                 "gated" if gated else "info"))
+    for name in new_names:
+        print("%-44s (new — not in baseline; refresh bench/baseline/ to gate)"
+              % name)
+
+    if not armed:
+        # GitHub Actions surfaces this as a visible annotation, so an
+        # advisory run never passes silently.
+        print("::warning title=perf gate disarmed::baseline machine shape %s "
+              "does not match this runner's %s; regressions are advisory. "
+              "Commit this run's bench-json artifact as bench/baseline/ to "
+              "arm the gate." % (machine_shape(base_context),
+                                 machine_shape(fresh_context)))
+    if failures and not armed:
+        print("\nPERF GATE DISARMED: baseline machine shape %s != fresh %s —"
+              % (machine_shape(base_context), machine_shape(fresh_context)))
+        print("absolute throughput is not comparable across machines, so the")
+        print("following would-be failures are warnings only.  Commit a")
+        print("baseline captured on this runner shape (e.g. this run's")
+        print("bench-json artifact) to arm the gate, or pass --strict.")
+        for failure in failures:
+            print("  " + failure)
+        return 0
+    if failures:
+        print("\nPERF GATE FAILED (tolerance %.0f%%):" % (args.tolerance * 100))
+        for failure in failures:
+            print("  " + failure)
+        print("\nIf the regression is intentional, refresh the baseline "
+              "(see this script's docstring).")
+        return 1
+    print("\nperf gate OK: no gated counter regressed more than %.0f%% (%s)"
+          % (args.tolerance * 100,
+             "armed" if armed else
+             "machine shapes differ — gate would have been advisory"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
