@@ -19,7 +19,11 @@
 //   * channel/resolve           — raw slot resolution;
 //   * discipline/<name>         — raw ChannelDiscipline::slot throughput
 //                                 under a 16-of-64 contention batch per
-//                                 iteration, drained to empty backlog.
+//                                 iteration, drained to empty backlog;
+//   * arena/flip/<n>            — MessageArena staging + counting-sort flip
+//                                 of one all-to-some round at n nodes;
+//   * buckets/stage/<n>         — SlotBuckets push + stage drain of one
+//                                 slot's worth of in-flight messages.
 // This is the only wall-clock bench; all experiment tables use model
 // metrics.  `--json` maps to google-benchmark's JSON output, written to
 // BENCH_sim_throughput.json.
@@ -203,6 +207,68 @@ void register_discipline_benches() {
         [kind](benchmark::State& state) { run_discipline(state, kind); });
   }
 }
+
+void BM_ArenaFlip(benchmark::State& state) {
+  // One iteration = staging 4 sends per node across 4 shards (header +
+  // pooled payload, exactly what NodeContext::send does) and one flip —
+  // the per-round counting sort and scatter of the synchronous hot path.
+  // After the first iterations every buffer is at its high-water capacity,
+  // so the loop measures the steady-state zero-allocation path.
+  const auto n = static_cast<NodeId>(state.range(0));
+  constexpr unsigned kShards = 4;
+  constexpr std::uint32_t kSendsPerNode = 4;
+  sim::MessageArena arena;
+  arena.reset(n, kShards);
+  std::vector<sim::ShardBuffer> shards(kShards);
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    for (unsigned s = 0; s < kShards; ++s) {
+      const auto [first, last] = sim::Scheduler::shard_range(n, s, kShards);
+      for (NodeId v = first; v < last; ++v) {
+        for (std::uint32_t k = 0; k < kSendsPerNode; ++k) {
+          const auto to = static_cast<NodeId>((v + k + 1) % n);
+          shards[s].outbox.push_back(sim::MsgHeader{
+              to, v, EdgeId{v}, shards[s].stage_packet(sim::Packet(
+                           1, {static_cast<sim::Word>(v), sim::Word{7}}))});
+        }
+      }
+    }
+    arena.flip(shards);
+    benchmark::DoNotOptimize(arena.inbox(0).size());
+    msgs += static_cast<std::uint64_t>(n) * kSendsPerNode;
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(msgs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ArenaFlip)->Name("arena/flip")->Arg(4096)->Arg(16384);
+
+void BM_BucketsStage(benchmark::State& state) {
+  // One iteration = one slot of the asynchronous delivery store: n committed
+  // sends pushed (seq-stamped headers + pooled payloads) and one stage()
+  // drain (header sort + per-destination offsets).  Ticks spread over the
+  // slot; destinations collide so the sort does real grouping work.
+  const auto n = static_cast<NodeId>(state.range(0));
+  constexpr std::uint64_t kTicksPerSlot = 16;
+  sim::SlotBuckets buckets;
+  buckets.reset(n, kTicksPerSlot, /*ring_slots=*/4);
+  std::uint64_t slot = 0;
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t tick = slot * kTicksPerSlot + 1 + v % kTicksPerSlot;
+      buckets.push(
+          sim::AsyncMsgHeader{tick, static_cast<NodeId>((v * 7 + 1) % n), v,
+                              EdgeId{v}, 0},
+          sim::Packet(1, {static_cast<sim::Word>(v)}));
+    }
+    benchmark::DoNotOptimize(buckets.stage(slot));
+    ++slot;
+    msgs += n;
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(msgs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BucketsStage)->Name("buckets/stage")->Arg(4096)->Arg(16384);
 
 void BM_ChannelResolve(benchmark::State& state) {
   sim::Channel channel;

@@ -75,7 +75,7 @@ void P2pGlobalProcess::send_fold_if_ready(sim::NodeContext& ctx) {
 
 void P2pGlobalProcess::on_message(std::uint64_t step, const sim::Received& msg,
                                   sim::NodeContext& ctx) {
-  const sim::Packet& p = msg.packet;
+  const sim::Packet& p = msg.packet();
   switch (p.type()) {
     case kFlood: {
       const NodeId id = static_cast<NodeId>(p[0]);

@@ -155,7 +155,7 @@ void P2pMstProcess::maybe_send_report(sim::NodeContext& ctx) {
 
 void P2pMstProcess::on_message(std::uint64_t /*step*/, const sim::Received& msg,
                                sim::NodeContext& ctx) {
-  const sim::Packet& p = msg.packet;
+  const sim::Packet& p = msg.packet();
   switch (p.type()) {
     case kTest:
       if (static_cast<NodeId>(p[0]) == core_) {

@@ -74,12 +74,12 @@ class ComputeStage final : public SteppedProcess {
 
   void on_message(std::uint64_t /*step*/, const sim::Received& msg,
                   sim::NodeContext& ctx) override {
-    switch (msg.packet.type()) {
+    switch (msg.packet().type()) {
       case kHello:
         ++children_;
         break;
       case kFold:
-        acc_ = semigroup_apply(config_.op, acc_, msg.packet[0]);
+        acc_ = semigroup_apply(config_.op, acc_, msg.packet()[0]);
         ++received_;
         MMN_ASSERT(received_ <= children_, "more folds than children");
         if (received_ == children_ && !is_root() && !sent_fold_) {
@@ -94,12 +94,16 @@ class ComputeStage final : public SteppedProcess {
 
   void step_round(std::uint64_t step, sim::NodeContext& ctx) override {
     if (step != 2) return;
-    const sim::Packet partial(kPartial, {acc_});
+    // Decide first, construct the packet only on a transmitting round:
+    // almost every node stays silent almost every slot, and the Packet
+    // constructor's word-array zeroing would otherwise dominate this stage.
+    bool transmit;
     if (capetanakis_) {
-      if (capetanakis_->should_transmit()) ctx.channel_write(partial);
-    } else if (!randomized_->done() && randomized_->should_transmit(ctx.rng())) {
-      ctx.channel_write(partial);
+      transmit = capetanakis_->should_transmit();
+    } else {
+      transmit = !randomized_->done() && randomized_->should_transmit(ctx.rng());
     }
+    if (transmit) ctx.channel_write(sim::Packet(kPartial, {acc_}));
   }
 
   void on_slot(std::uint64_t slot_step, const sim::SlotObservation& obs,
@@ -177,7 +181,7 @@ int balanced_phase_count(NodeId n) {
 GlobalFunctionProcess::GlobalFunctionProcess(const sim::LocalView& view,
                                              GlobalFunctionConfig config,
                                              sim::Word input) {
-  std::vector<std::unique_ptr<sim::Process>> stages;
+  std::vector<std::unique_ptr<SteppedProcess>> stages;
   const FragmentState* partition = nullptr;
   if (config.variant == GlobalFunctionConfig::Variant::kDeterministic) {
     PartitionDetConfig pconfig;
@@ -196,7 +200,7 @@ GlobalFunctionProcess::GlobalFunctionProcess(const sim::LocalView& view,
   auto compute = std::make_unique<ComputeStage>(view, config, input, partition);
   compute_stage_ = compute.get();
   stages.push_back(std::move(compute));
-  sequence_ = std::make_unique<SequenceProcess>(std::move(stages));
+  sequence_ = std::make_unique<SteppedSequenceProcess>(std::move(stages));
 }
 
 void GlobalFunctionProcess::round(sim::NodeContext& ctx) {

@@ -59,7 +59,7 @@ class GlobalFunctionProcess final : public sim::Process {
   sim::Word result() const;
 
  private:
-  std::unique_ptr<SequenceProcess> sequence_;
+  std::unique_ptr<SteppedSequenceProcess> sequence_;
   const sim::Process* compute_stage_ = nullptr;  // owned by sequence_
 };
 

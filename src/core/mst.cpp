@@ -118,7 +118,7 @@ class MstProcess::ComputeStage final : public SteppedProcess {
 
   void on_message(std::uint64_t /*step*/, const sim::Received& msg,
                   sim::NodeContext& ctx) override {
-    const sim::Packet& p = msg.packet;
+    const sim::Packet& p = msg.packet();
     switch (p.type()) {
       case kInitFrag: {
         const int idx = view_.link_index(msg.via);
@@ -264,7 +264,7 @@ class MstProcess::ComputeStage final : public SteppedProcess {
 };
 
 MstProcess::MstProcess(const sim::LocalView& view) {
-  std::vector<std::unique_ptr<sim::Process>> stages;
+  std::vector<std::unique_ptr<SteppedProcess>> stages;
   auto partition =
       std::make_unique<PartitionDetProcess>(view, PartitionDetConfig{});
   partition_ = partition.get();
@@ -272,7 +272,7 @@ MstProcess::MstProcess(const sim::LocalView& view) {
   auto compute = std::make_unique<ComputeStage>(view, partition_);
   compute_ = compute.get();
   stages.push_back(std::move(compute));
-  sequence_ = std::make_unique<SequenceProcess>(std::move(stages));
+  sequence_ = std::make_unique<SteppedSequenceProcess>(std::move(stages));
 }
 
 void MstProcess::round(sim::NodeContext& ctx) { sequence_->round(ctx); }

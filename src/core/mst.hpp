@@ -54,7 +54,7 @@ class MstProcess final : public sim::Process {
  private:
   class ComputeStage;
 
-  std::unique_ptr<SequenceProcess> sequence_;
+  std::unique_ptr<SteppedSequenceProcess> sequence_;
   const ComputeStage* compute_ = nullptr;       // owned by sequence_
   const FragmentState* partition_ = nullptr;    // owned by sequence_
 };

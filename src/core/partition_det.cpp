@@ -501,7 +501,7 @@ void PartitionDetProcess::begin_newfrag(sim::NodeContext& ctx) {
 void PartitionDetProcess::on_message(std::uint64_t /*step*/,
                                      const sim::Received& msg,
                                      sim::NodeContext& ctx) {
-  const sim::Packet& p = msg.packet;
+  const sim::Packet& p = msg.packet();
   switch (p.type()) {
     case kCountReq: {
       count_pending_ = static_cast<std::uint32_t>(children_.size());

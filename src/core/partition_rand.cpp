@@ -181,7 +181,7 @@ void PartitionRandProcess::apply_freeze(bool tree_frozen) {
 void PartitionRandProcess::on_message(std::uint64_t /*step*/,
                                       const sim::Received& msg,
                                       sim::NodeContext& ctx) {
-  const sim::Packet& p = msg.packet;
+  const sim::Packet& p = msg.packet();
   switch (p.type()) {
     case kGrowMsg: {
       const auto root = static_cast<std::uint64_t>(p[0]);

@@ -16,18 +16,26 @@ bool SteppedProcess::observed_end(std::uint64_t) const { return false; }
 void SteppedProcess::round(sim::NodeContext& ctx) {
   if (finished_) return;
 
+  // The running step's spec is cached at step entry: step_spec must be a
+  // pure function of the step index and of state fixed before the step
+  // starts (every node evaluates it identically anyway — a spec that
+  // changed mid-step would desynchronize the network).  Caching keeps the
+  // per-round loop free of the step_spec virtual calls, which dominate the
+  // framework's own cost at scale; num_steps() — which MAY grow as shared
+  // information arrives — is still consulted fresh at every transition.
   if (!started_) {
     started_ = true;
     if (num_steps() == 0) {
       finished_ = true;
       return;
     }
+    spec_ = step_spec(0);
     step_begin(0, ctx);
   } else {
     if (slot_owner_ != kNoStep) on_slot(slot_owner_, ctx.slot(), ctx);
 
     bool advance = false;
-    switch (step_spec(step_).kind) {
+    switch (spec_.kind) {
       case StepKind::kBarrier:
         // Only an idle slot that this step itself owned proves quiescence;
         // the slot that *triggered* the step's start belongs to its
@@ -35,7 +43,7 @@ void SteppedProcess::round(sim::NodeContext& ctx) {
         advance = slot_owner_ == step_ && ctx.slot().idle();
         break;
       case StepKind::kFixed:
-        advance = rounds_in_step_ >= step_spec(step_).fixed_rounds;
+        advance = rounds_in_step_ >= spec_.fixed_rounds;
         break;
       case StepKind::kObserved:
         advance = observed_end(step_);
@@ -48,6 +56,7 @@ void SteppedProcess::round(sim::NodeContext& ctx) {
         finished_ = true;
         return;
       }
+      spec_ = step_spec(step_);
       step_begin(step_, ctx);
     }
   }
@@ -57,7 +66,7 @@ void SteppedProcess::round(sim::NodeContext& ctx) {
   }
   step_round(step_, ctx);
 
-  if (step_spec(step_).kind == StepKind::kBarrier) {
+  if (spec_.kind == StepKind::kBarrier) {
     MMN_ASSERT(!ctx.wrote_channel(),
                "barrier steps reserve the channel for busy tones");
     if (!step_done(step_) || ctx.sent_message()) {
@@ -67,34 +76,6 @@ void SteppedProcess::round(sim::NodeContext& ctx) {
 
   slot_owner_ = step_;
   ++rounds_in_step_;
-}
-
-SequenceProcess::SequenceProcess(
-    std::vector<std::unique_ptr<sim::Process>> stages)
-    : stages_(std::move(stages)) {
-  MMN_REQUIRE(!stages_.empty(), "sequence needs at least one stage");
-  for (const auto& s : stages_) {
-    MMN_REQUIRE(s != nullptr, "sequence stage must not be null");
-  }
-}
-
-void SequenceProcess::round(sim::NodeContext& ctx) {
-  while (index_ < stages_.size() && stages_[index_]->finished()) {
-    ++index_;
-  }
-  if (index_ < stages_.size()) {
-    stages_[index_]->round(ctx);
-  }
-}
-
-sim::Process& SequenceProcess::stage(std::size_t i) {
-  MMN_REQUIRE(i < stages_.size(), "stage index out of range");
-  return *stages_[i];
-}
-
-const sim::Process& SequenceProcess::stage(std::size_t i) const {
-  MMN_REQUIRE(i < stages_.size(), "stage index out of range");
-  return *stages_[i];
 }
 
 }  // namespace mmn

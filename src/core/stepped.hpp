@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "support/check.hpp"
 
 namespace mmn {
 
@@ -61,7 +62,10 @@ class SteppedProcess : public sim::Process {
   /// evaluate identically at every node in every round.
   virtual std::uint64_t num_steps() const = 0;
 
-  /// Kind and length of the given step; identical at every node.
+  /// Kind and length of the given step; identical at every node.  Read once
+  /// when the step begins and cached for the step's duration (the hot round
+  /// loop must stay free of this virtual call), so it must be a pure
+  /// function of the step index and of state fixed before the step starts.
   virtual StepSpec step_spec(std::uint64_t step) const = 0;
 
   /// Called once when the step starts (same round at every node).
@@ -95,6 +99,7 @@ class SteppedProcess : public sim::Process {
   std::uint64_t step_ = 0;
   std::uint64_t rounds_in_step_ = 0;
   std::uint64_t slot_owner_ = kNoStep;  // step that owned the previous slot
+  StepSpec spec_{};                     // spec of step_, cached at entry
   bool started_ = false;
   bool finished_ = false;
 };
@@ -104,19 +109,50 @@ class SteppedProcess : public sim::Process {
 /// all end on a shared signal), so successive stages stay aligned network
 /// wide.  Later stages may hold pointers to earlier ones and read their
 /// results once started.
-class SequenceProcess final : public sim::Process {
+///
+/// The stage type is a template parameter so layered protocols can
+/// devirtualize their hottest call: with Stage = SteppedProcess (the
+/// SteppedSequenceProcess alias) the per-node-per-round stage dispatch is a
+/// direct call with the finished probe inlined, because round()/finished()
+/// are final on SteppedProcess.  The default Stage = sim::Process keeps the
+/// fully generic form for sequencing composite processes.
+template <typename Stage = sim::Process>
+class BasicSequenceProcess final : public sim::Process {
  public:
-  explicit SequenceProcess(std::vector<std::unique_ptr<sim::Process>> stages);
+  explicit BasicSequenceProcess(std::vector<std::unique_ptr<Stage>> stages)
+      : stages_(std::move(stages)) {
+    MMN_REQUIRE(!stages_.empty(), "sequence needs at least one stage");
+    for (const auto& s : stages_) {
+      MMN_REQUIRE(s != nullptr, "sequence stage must not be null");
+    }
+  }
 
-  void round(sim::NodeContext& ctx) override;
+  void round(sim::NodeContext& ctx) override {
+    while (index_ < stages_.size() && stages_[index_]->finished()) {
+      ++index_;
+    }
+    if (index_ < stages_.size()) {
+      stages_[index_]->round(ctx);
+    }
+  }
+
   bool finished() const override { return index_ >= stages_.size(); }
 
-  sim::Process& stage(std::size_t i);
-  const sim::Process& stage(std::size_t i) const;
+  Stage& stage(std::size_t i) {
+    MMN_REQUIRE(i < stages_.size(), "stage index out of range");
+    return *stages_[i];
+  }
+  const Stage& stage(std::size_t i) const {
+    MMN_REQUIRE(i < stages_.size(), "stage index out of range");
+    return *stages_[i];
+  }
 
  private:
-  std::vector<std::unique_ptr<sim::Process>> stages_;
+  std::vector<std::unique_ptr<Stage>> stages_;
   std::size_t index_ = 0;
 };
+
+using SequenceProcess = BasicSequenceProcess<>;
+using SteppedSequenceProcess = BasicSequenceProcess<SteppedProcess>;
 
 }  // namespace mmn

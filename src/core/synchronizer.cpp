@@ -4,46 +4,6 @@
 
 namespace mmn {
 
-/// NodeContext the inner synchronous process sees: its "round" is the pulse
-/// count, its inbox is the buffer the synchronizer filled since the previous
-/// pulse, and its sends go out as acknowledged asynchronous messages.  The
-/// channel is off limits — the synchronizer owns it.
-class SynchronizerProcess::Shim final : public sim::NodeContext {
- public:
-  Shim(SynchronizerProcess& owner, sim::AsyncContext& async,
-       std::uint64_t round)
-      : owner_(owner), async_(async), round_(round) {}
-
-  std::uint64_t round() const override { return round_; }
-  const sim::LocalView& view() const override { return owner_.view_; }
-  Rng& rng() override { return async_.rng(); }
-  std::span<const sim::Received> inbox() const override {
-    return owner_.buffered_;
-  }
-  const sim::SlotObservation& slot() const override {
-    static const sim::SlotObservation kIdle{};
-    return kIdle;  // the channel belongs to the synchronizer
-  }
-  void send(EdgeId edge, const sim::Packet& packet) override {
-    MMN_REQUIRE(packet.type() < kBusy,
-                "packet types 0xFFFD..0xFFFF are reserved");
-    async_.send(edge, packet);
-    ++owner_.pending_acks_;
-    sent_ = true;
-  }
-  void channel_write(const sim::Packet&) override {
-    MMN_REQUIRE(false, "synchronized protocols must not use the channel");
-  }
-  bool wrote_channel() const override { return false; }
-  bool sent_message() const override { return sent_; }
-
- private:
-  SynchronizerProcess& owner_;
-  sim::AsyncContext& async_;
-  std::uint64_t round_;
-  bool sent_ = false;
-};
-
 SynchronizerProcess::SynchronizerProcess(const sim::LocalView& view,
                                          std::unique_ptr<sim::Process> inner)
     : view_(view), inner_(std::move(inner)) {
@@ -56,14 +16,16 @@ void SynchronizerProcess::start(sim::AsyncContext&) {
 
 void SynchronizerProcess::on_message(const sim::Received& msg,
                                      sim::AsyncContext& ctx) {
-  if (msg.packet.type() == kAck) {
+  if (msg.packet().type() == kAck) {
     MMN_ASSERT(pending_acks_ > 0, "unexpected acknowledgement");
     --pending_acks_;
     return;
   }
-  // Acknowledge immediately and hold the message for the next pulse.
+  // Acknowledge immediately and hold the message for the next pulse.  The
+  // payload is copied out of the engine's pooled storage: the Received's
+  // packet pointer dies with the delivery sub-round.
   ctx.send(msg.via, sim::Packet(kAck));
-  buffered_.push_back(msg);
+  buffered_.push_back(Buffered{msg.from, msg.via, msg.packet()});
 }
 
 void SynchronizerProcess::on_slot(const sim::SlotObservation& obs,
@@ -73,9 +35,39 @@ void SynchronizerProcess::on_slot(const sim::SlotObservation& obs,
     // delivered (its sender would otherwise still hold a busy tone).  The
     // buffer is the inner round's inbox; nothing new can arrive while the
     // inner round runs, so clearing afterwards is safe.
-    Shim shim(*this, ctx, pulses_);
+    //
+    // The inner synchronous process sees a NodeContext whose "round" is the
+    // pulse count, whose inbox is the buffer filled since the previous
+    // pulse, and whose sends go out as acknowledged asynchronous messages
+    // through the sink hooks below.  The channel is off limits — the
+    // synchronizer owns it.
+    inbox_view_.clear();
+    for (const Buffered& b : buffered_) {
+      inbox_view_.push_back(sim::Received{b.from, b.via, &b.packet});
+    }
+    struct ShimEnv {
+      SynchronizerProcess* owner;
+      sim::AsyncContext* async;
+    } env{this, &ctx};
+    static const sim::SlotObservation kIdle{};  // channel belongs to us
+    sim::NodeContext shim(
+        view_, ctx.rng(), inbox_view_, kIdle, pulses_,
+        sim::NodeContext::Sink{
+            [](void* self, EdgeId edge, const sim::Packet& packet) {
+              auto* e = static_cast<ShimEnv*>(self);
+              MMN_REQUIRE(packet.type() < kBusy,
+                          "packet types 0xFFFD..0xFFFF are reserved");
+              e->async->send(edge, packet);
+              ++e->owner->pending_acks_;
+            },
+            [](void*, const sim::Packet&) {
+              MMN_REQUIRE(false,
+                          "synchronized protocols must not use the channel");
+            },
+            &env});
     inner_->round(shim);
     buffered_.clear();
+    inbox_view_.clear();
     ++pulses_;
   }
   // Hold the busy tone while any of our messages is unacknowledged (the

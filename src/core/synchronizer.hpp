@@ -49,7 +49,14 @@ class SynchronizerProcess final : public sim::AsyncProcess {
   std::uint64_t pulses() const { return pulses_; }
 
  private:
-  class Shim;
+  /// A buffered protocol message: the synchronizer owns the payload (the
+  /// engine's pooled packet behind a Received is recycled when the delivery
+  /// sub-round ends, so holding the Received itself would dangle).
+  struct Buffered {
+    NodeId from;
+    EdgeId via;
+    sim::Packet packet;
+  };
 
   /// Acknowledgement packet type; reserved, like the busy tone.
   static constexpr std::uint16_t kAck = 0xFFFE;
@@ -57,7 +64,8 @@ class SynchronizerProcess final : public sim::AsyncProcess {
 
   const sim::LocalView& view_;
   std::unique_ptr<sim::Process> inner_;
-  std::vector<sim::Received> buffered_;  ///< round r+1 inbox being filled
+  std::vector<Buffered> buffered_;  ///< round r+1 inbox being filled
+  std::vector<sim::Received> inbox_view_;  ///< Received views over buffered_
   std::uint32_t pending_acks_ = 0;
   std::uint64_t pulses_ = 0;
 };

@@ -6,56 +6,6 @@
 
 namespace mmn::sim {
 
-/// Per-phase context of one node.  Every externally visible effect — sends
-/// (with their delivery tick already drawn from the node's own RNG stream),
-/// channel writes, message counts — is staged into the shard's buffer; the
-/// core commits shards in ascending order after the phase barrier, so the
-/// trace is scheduler-independent.  `now` is the simulated tick the node is
-/// acting at: the delivery tick of the message in hand, or the boundary tick
-/// during the on_slot fan-out.
-class AsyncEngine::Context final : public AsyncContext {
- public:
-  Context(AsyncEngine& engine, ShardBuffer& shard, NodeId v, std::uint64_t now)
-      : engine_(engine),
-        shard_(shard),
-        view_(engine.core_.view(v)),
-        rng_(engine.core_.rng(v)),
-        now_(now) {}
-
-  const LocalView& view() const override { return view_; }
-  Rng& rng() override { return rng_; }
-  std::uint64_t slot_index() const override { return engine_.slot_index_; }
-
-  void set_now(std::uint64_t now) { now_ = now; }
-
-  void send(EdgeId edge, const Packet& packet) override {
-    const int idx = view_.link_index(edge);
-    MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
-    const Neighbor& nb = view_.links[static_cast<std::size_t>(idx)];
-    const std::uint64_t delay = 1 + rng_.next_below(engine_.max_delay_ticks_);
-    shard_.async_outbox.push_back(
-        AsyncSend{now_ + delay, nb.id, Received{view_.self, edge, packet}});
-    ++shard_.p2p_sent;
-  }
-
-  void channel_write(const Packet& packet) override {
-    // Multiple writes per slot from one node collapse into one transmission:
-    // physically the node is already holding the medium for this slot.  The
-    // dedup slot is node-local state, so staging it here is shard-safe.
-    auto& last = engine_.last_write_slot_[view_.self];
-    if (last == engine_.slot_index_) return;
-    last = engine_.slot_index_;
-    shard_.channel_writes.push_back(ChannelWrite{view_.self, packet});
-  }
-
- private:
-  AsyncEngine& engine_;
-  ShardBuffer& shard_;
-  const LocalView& view_;
-  Rng& rng_;
-  std::uint64_t now_;
-};
-
 AsyncEngine::AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
                          std::uint64_t seed, std::uint32_t max_delay_slots,
                          std::unique_ptr<Scheduler> scheduler,
@@ -108,15 +58,41 @@ void AsyncEngine::commit_phase() {
       static_cast<std::int64_t>(finished_count_) + core_.commit_async_phase());
 }
 
+void AsyncEngine::start_node(unsigned shard, NodeId v) {
+  AsyncContext ctx(core_.view(v), core_.rng(v), core_.shard(shard),
+                   slot_index_, max_delay_ticks_, &last_write_slot_[v],
+                   /*now=*/0);
+  processes_[v]->start(ctx);
+  note_finished(shard, v);
+}
+
 void AsyncEngine::start_processes() {
   core_.scheduler().for_each_node(
-      core_.num_nodes(), [this](unsigned s, NodeId v) {
-        Context ctx(*this, core_.shard(s), v, /*now=*/0);
-        processes_[v]->start(ctx);
-        note_finished(s, v);
-      });
+      core_.num_nodes(), Scheduler::NodeFn{
+                             [](void* env, unsigned s, NodeId v) {
+                               static_cast<AsyncEngine*>(env)->start_node(s, v);
+                             },
+                             this});
   commit_phase();
   started_ = true;
+}
+
+void AsyncEngine::deliver_node(unsigned shard, NodeId v) {
+  SlotBuckets& buckets = core_.slot_buckets();
+  const std::span<const StampedHeader> msgs = buckets.inbox(v);
+  if (msgs.empty()) return;
+  AsyncContext ctx(core_.view(v), core_.rng(v), core_.shard(shard),
+                   slot_index_, max_delay_ticks_, &last_write_slot_[v],
+                   /*now=*/0);
+  for (const StampedHeader& m : msgs) {
+    ctx.set_now(m.tick);
+    // Materialize the Received view over the pooled payload; the pool is
+    // immutable for the duration of the sub-round (pushes land in shard
+    // buffers and reach the pool only at commit, after the barrier).
+    const Received msg{m.from, m.via, &buckets.payload(m.ref)};
+    processes_[v]->on_message(msg, ctx);
+  }
+  note_finished(shard, v);
 }
 
 void AsyncEngine::run_delivery_phase() {
@@ -129,27 +105,36 @@ void AsyncEngine::run_delivery_phase() {
   // grows and the loop runs at most kTicksPerSlot times per slot.
   while (buckets.stage(slot_index_) > 0) {
     core_.scheduler().for_each_node(
-        core_.num_nodes(), [this, &buckets](unsigned s, NodeId v) {
-          const std::span<const StampedMessage> msgs = buckets.inbox(v);
-          if (msgs.empty()) return;
-          Context ctx(*this, core_.shard(s), v, /*now=*/0);
-          for (const StampedMessage& m : msgs) {
-            ctx.set_now(m.tick);
-            processes_[v]->on_message(m.msg, ctx);
-          }
-          note_finished(s, v);
-        });
+        core_.num_nodes(),
+        Scheduler::NodeFn{[](void* env, unsigned s, NodeId v) {
+                            static_cast<AsyncEngine*>(env)->deliver_node(s, v);
+                          },
+                          this});
     commit_phase();
   }
 }
 
+void AsyncEngine::fanout_node(unsigned shard, NodeId v,
+                              const SlotObservation& obs) {
+  AsyncContext ctx(core_.view(v), core_.rng(v), core_.shard(shard),
+                   slot_index_, max_delay_ticks_, &last_write_slot_[v],
+                   slot_index_ * kTicksPerSlot);
+  processes_[v]->on_slot(obs, ctx);
+  note_finished(shard, v);
+}
+
 void AsyncEngine::run_slot_fanout(const SlotObservation& obs) {
+  struct FanoutEnv {
+    AsyncEngine* engine;
+    const SlotObservation* obs;
+  } env{this, &obs};
   core_.scheduler().for_each_node(
-      core_.num_nodes(), [this, &obs](unsigned s, NodeId v) {
-        Context ctx(*this, core_.shard(s), v, slot_index_ * kTicksPerSlot);
-        processes_[v]->on_slot(obs, ctx);
-        note_finished(s, v);
-      });
+      core_.num_nodes(),
+      Scheduler::NodeFn{[](void* e, unsigned s, NodeId v) {
+                          auto* fe = static_cast<FanoutEnv*>(e);
+                          fe->engine->fanout_node(s, v, *fe->obs);
+                        },
+                        &env});
   commit_phase();
 }
 

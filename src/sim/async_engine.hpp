@@ -68,23 +68,75 @@ class AsyncProcess {
   virtual bool finished() const = 0;
 };
 
-class AsyncContext {
+/// Per-phase context of one node — a concrete final class (no virtual
+/// dispatch on the send path; the virtual seam is the AsyncProcess handler
+/// itself).  Every externally visible effect — sends (with their delivery
+/// tick already drawn from the node's own RNG stream), channel writes,
+/// message counts — is staged into the shard's buffer; the core commits
+/// shards in ascending order after the phase barrier, so the trace is
+/// scheduler-independent.  `now` is the simulated tick the node is acting
+/// at: the delivery tick of the message in hand, or the boundary tick
+/// during the on_slot fan-out.
+class AsyncContext final {
  public:
-  virtual ~AsyncContext() = default;
+  AsyncContext(const LocalView& view, Rng& rng, ShardBuffer& shard,
+               std::uint64_t slot_index, std::uint32_t max_delay_ticks,
+               std::uint64_t* last_write_slot, std::uint64_t now)
+      : view_(&view),
+        rng_(&rng),
+        shard_(&shard),
+        last_write_slot_(last_write_slot),
+        slot_index_(slot_index),
+        now_(now),
+        max_delay_ticks_(max_delay_ticks) {}
 
-  virtual const LocalView& view() const = 0;
-  virtual Rng& rng() = 0;
+  AsyncContext(const AsyncContext&) = delete;
+  AsyncContext& operator=(const AsyncContext&) = delete;
+
+  const LocalView& view() const { return *view_; }
+  Rng& rng() { return *rng_; }
 
   /// Index of the slot currently in progress.
-  virtual std::uint64_t slot_index() const = 0;
+  std::uint64_t slot_index() const { return slot_index_; }
 
   /// Sends a message; it is delivered after a random bounded delay.
-  virtual void send(EdgeId edge, const Packet& packet) = 0;
+  void send(EdgeId edge, const Packet& packet) {
+    const int idx = view_->link_index(edge);
+    MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
+    MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
+                "packet exceeds the O(log n) bound");
+    const Neighbor& nb = view_->links[static_cast<std::size_t>(idx)];
+    const std::uint64_t delay = 1 + rng_->next_below(max_delay_ticks_);
+    shard_->async_outbox.push_back(AsyncMsgHeader{
+        now_ + delay, nb.id, view_->self, edge, shard_->stage_packet(packet)});
+    ++shard_->p2p_sent;
+  }
 
-  /// Registers a write for the slot currently in progress.
-  virtual void channel_write(const Packet& packet) = 0;
+  /// Registers a write for the slot currently in progress.  Multiple writes
+  /// per slot from one node collapse into one transmission: physically the
+  /// node is already holding the medium for this slot.  The dedup slot is
+  /// node-local state, so staging it here is shard-safe.
+  void channel_write(const Packet& packet) {
+    MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
+                "packet exceeds the O(log n) bound");
+    if (*last_write_slot_ == slot_index_) return;
+    *last_write_slot_ = slot_index_;
+    shard_->channel_writes.push_back(ChannelWrite{view_->self, packet});
+  }
 
-  NodeId self() const { return view().self; }
+  NodeId self() const { return view_->self; }
+
+  /// Engine-internal: advances the acting tick between deliveries.
+  void set_now(std::uint64_t now) { now_ = now; }
+
+ private:
+  const LocalView* view_;
+  Rng* rng_;
+  ShardBuffer* shard_;
+  std::uint64_t* last_write_slot_;  ///< this node's write-dedup slot
+  std::uint64_t slot_index_;
+  std::uint64_t now_;
+  std::uint32_t max_delay_ticks_;
 };
 
 using AsyncProcessFactory =
@@ -137,12 +189,13 @@ class AsyncEngine {
   NodeId num_nodes() const { return core_.num_nodes(); }
 
  private:
-  class Context;
-
   bool all_finished() const { return finished_count_ == core_.num_nodes(); }
   void start_processes();
+  void start_node(unsigned shard, NodeId v);
   void run_delivery_phase();
+  void deliver_node(unsigned shard, NodeId v);
   void run_slot_fanout(const SlotObservation& obs);
+  void fanout_node(unsigned shard, NodeId v, const SlotObservation& obs);
   void note_finished(unsigned shard, NodeId v);
   void commit_phase();
 

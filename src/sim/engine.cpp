@@ -7,51 +7,6 @@
 
 namespace mmn::sim {
 
-/// Stages every externally visible effect into the shard's buffer; the core
-/// commits shards in ascending order, so the trace is scheduler-independent.
-class Engine::Context final : public NodeContext {
- public:
-  Context(RuntimeCore& core, ShardBuffer& shard, NodeId v)
-      : core_(core),
-        shard_(shard),
-        view_(core.view(v)),
-        inbox_(core.inbox(v)),
-        rng_(core.rng(v)) {}
-
-  std::uint64_t round() const override { return core_.round(); }
-  const LocalView& view() const override { return view_; }
-  Rng& rng() override { return rng_; }
-  std::span<const Received> inbox() const override { return inbox_; }
-  const SlotObservation& slot() const override { return core_.slot(); }
-
-  void send(EdgeId edge, const Packet& packet) override {
-    const int idx = view_.link_index(edge);
-    MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
-    const Neighbor& nb = view_.links[static_cast<std::size_t>(idx)];
-    shard_.outbox.push_back(Outgoing{nb.id, Received{view_.self, edge, packet}});
-    ++shard_.p2p_sent;
-    sent_message_ = true;
-  }
-
-  void channel_write(const Packet& packet) override {
-    MMN_REQUIRE(!wrote_channel_, "at most one channel write per node per slot");
-    wrote_channel_ = true;
-    shard_.channel_writes.push_back(ChannelWrite{view_.self, packet});
-  }
-
-  bool wrote_channel() const override { return wrote_channel_; }
-  bool sent_message() const override { return sent_message_; }
-
- private:
-  RuntimeCore& core_;
-  ShardBuffer& shard_;
-  const LocalView& view_;
-  std::span<const Received> inbox_;
-  Rng& rng_;
-  bool wrote_channel_ = false;
-  bool sent_message_ = false;
-};
-
 Engine::Engine(const Graph& g, const ProcessFactory& factory,
                std::uint64_t seed)
     : Engine(g, factory, seed, nullptr) {}
@@ -86,16 +41,27 @@ const Process& Engine::process(NodeId v) const {
   return *processes_[v];
 }
 
+/// The per-node body of one round; reached from the scheduler through a raw
+/// function pointer, with a concrete NodeContext staging every externally
+/// visible effect into the shard's buffer — the core commits shards in
+/// ascending order, so the trace is scheduler-independent.
+void Engine::node_round(unsigned shard, NodeId v) {
+  NodeContext ctx(core_.view(v), core_.rng(v), core_.inbox(v), core_.slot(),
+                  core_.round(), core_.shard(shard));
+  processes_[v]->round(ctx);
+  const char done = processes_[v]->finished() ? 1 : 0;
+  if (done != finished_flag_[v]) {
+    finished_flag_[v] = done;
+    core_.shard(shard).finished_delta += done ? 1 : -1;
+  }
+}
+
 void Engine::run_one_round() {
-  const std::int64_t delta = core_.run_round([this](unsigned s, NodeId v) {
-    Context ctx(core_, core_.shard(s), v);
-    processes_[v]->round(ctx);
-    const char done = processes_[v]->finished() ? 1 : 0;
-    if (done != finished_flag_[v]) {
-      finished_flag_[v] = done;
-      core_.shard(s).finished_delta += done ? 1 : -1;
-    }
-  });
+  const std::int64_t delta = core_.run_round(Scheduler::NodeFn{
+      [](void* env, unsigned s, NodeId v) {
+        static_cast<Engine*>(env)->node_round(s, v);
+      },
+      this});
   finished_count_ = static_cast<NodeId>(
       static_cast<std::int64_t>(finished_count_) + delta);
 }

@@ -18,9 +18,13 @@
 // maintains a finished-node count from per-round deltas instead of scanning
 // every process before every round.
 //
-// NodeContext is an interface so the same Process can also run on the
-// asynchronous engine underneath the busy-tone synchronizer of Section 7.1
-// (see core/synchronizer.hpp).
+// The per-node hot path is devirtualized end to end: the scheduler reaches
+// node_round through a raw function pointer, and NodeContext is a concrete
+// final class (sim/runtime_core.hpp) staging effects straight into the
+// shard buffer — the only virtual call per node per round is Process::round
+// itself.  The same Process still runs on the asynchronous engine
+// underneath the busy-tone synchronizer of Section 7.1, which feeds
+// NodeContext through its sink hooks (see core/synchronizer.hpp).
 #pragma once
 
 #include <cstdint>
@@ -70,8 +74,8 @@ class Engine {
   NodeId num_nodes() const { return core_.num_nodes(); }
 
  private:
-  class Context;
   bool all_finished() const { return finished_count_ == core_.num_nodes(); }
+  void node_round(unsigned shard, NodeId v);
   void run_one_round();
 
   RuntimeCore core_;

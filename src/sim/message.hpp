@@ -2,8 +2,11 @@
 //
 // The model (Section 2) bounds a message / slot payload by O(log n) bits plus
 // one data element.  We discretize this as a packet of at most kMaxWords
-// 64-bit words plus a 16-bit type tag; the bound is enforced at send time so
-// no algorithm can smuggle super-constant information into one message.
+// 64-bit words plus a 16-bit type tag.  The bound is enforced at the cold
+// boundaries — construction from a word list and every send/channel-write
+// commit — so no algorithm can smuggle super-constant information into one
+// message; the per-word accessors on the hot path carry debug-only checks
+// (MMN_DCHECK) that compile out in release builds.
 #pragma once
 
 #include <array>
@@ -15,6 +18,11 @@
 namespace mmn::sim {
 
 using Word = std::int64_t;
+
+/// Index of a payload in a packet pool (sim/runtime_core.hpp).  Message
+/// headers carry a PacketRef instead of the packet itself, so the per-round
+/// sorts and scatters move 16–32-byte headers, not 80-byte payloads.
+using PacketRef = std::uint32_t;
 
 class Packet {
  public:
@@ -34,18 +42,27 @@ class Packet {
   std::size_t size() const { return size_; }
 
   Word operator[](std::size_t i) const {
-    MMN_REQUIRE(i < size_, "packet word index out of range");
-    return words_[i];
+    MMN_DCHECK(i < size_, "packet word index out of range");
+    // Masked like push(): a contract-violating index in a release build
+    // reads a wrong word, never out-of-bounds memory.
+    return words_[i & (kMaxWords - 1)];
   }
 
   void push(Word w) {
-    MMN_REQUIRE(size_ < kMaxWords, "packet exceeds the O(log n) bound");
-    words_[size_++] = w;
+    MMN_DCHECK(size_ < kMaxWords, "packet exceeds the O(log n) bound");
+    // The mask keeps a contract-violating release-build push memory-safe;
+    // the size still advances, so the bound check at send commit fires.
+    static_assert((kMaxWords & (kMaxWords - 1)) == 0, "mask needs power of 2");
+    words_[size_ & (kMaxWords - 1)] = w;
+    ++size_;
   }
 
   bool operator==(const Packet& other) const {
     if (type_ != other.type_ || size_ != other.size_) return false;
-    for (std::size_t i = 0; i < size_; ++i) {
+    // size_ can only exceed kMaxWords through a contract-violating push that
+    // debug builds abort on; clamp so release builds never read past words_.
+    const std::size_t k = size_ < kMaxWords ? size_ : kMaxWords;
+    for (std::size_t i = 0; i < k; ++i) {
       if (words_[i] != other.words_[i]) return false;
     }
     return true;

@@ -10,26 +10,55 @@ void LocalView::finalize() {
   edge_index_.clear();
   edge_index_.reserve(links.size());
   for (std::size_t i = 0; i < links.size(); ++i) {
-    edge_index_.emplace(links[i].edge, static_cast<std::uint32_t>(i));
+    edge_index_.push_back(
+        EdgeSlot{links[i].edge, static_cast<std::uint32_t>(i)});
   }
+  std::sort(edge_index_.begin(), edge_index_.end(),
+            [](const EdgeSlot& a, const EdgeSlot& b) { return a.edge < b.edge; });
 }
 
-void MessageArena::reset(NodeId n) {
+void MessageArena::reset(NodeId n, unsigned shards) {
   n_ = n;
+  empty_ = true;
   buf_.clear();
   next_buf_.clear();
   offsets_.assign(n_ + 1, 0);
   next_offsets_.assign(n_ + 1, 0);
   cursor_.assign(n_, 0);
+  pools_.assign(shards, {});
+  next_pools_.assign(shards, {});
 }
 
 void MessageArena::flip(std::vector<ShardBuffer>& shards) {
-  // Count per destination, over all shards.
-  std::fill(cursor_.begin(), cursor_.end(), 0);
+  MMN_ASSERT(shards.size() == pools_.size(),
+             "arena was reset for a different shard count");
   std::size_t total = 0;
+  for (const ShardBuffer& sb : shards) total += sb.outbox.size();
+  // Message-free rounds (channel-only stages, barrier quiescence) skip the
+  // O(n) offset work entirely: after one empty flip both offset buffers are
+  // all-zero and both delivery buffers empty, so a second consecutive empty
+  // flip is a no-op — every inbox span is already empty, and the shard
+  // pools hold nothing to recycle (payloads only enter through sends).
+  if (total == 0) {
+    if (empty_) return;
+    std::fill(next_offsets_.begin(), next_offsets_.end(), 0);
+    next_buf_.clear();
+    for (unsigned s = 0; s < shards.size(); ++s) {
+      shards[s].pool.swap(next_pools_[s]);
+      shards[s].pool.clear();
+    }
+    buf_.swap(next_buf_);
+    offsets_.swap(next_offsets_);
+    pools_.swap(next_pools_);
+    empty_ = true;
+    return;
+  }
+  empty_ = false;
+  // Count per destination, over all shards.  Only the 16-byte headers are
+  // touched here; the payloads stay where send() wrote them.
+  std::fill(cursor_.begin(), cursor_.end(), 0);
   for (const ShardBuffer& sb : shards) {
-    for (const Outgoing& o : sb.outbox) ++cursor_[o.to];
-    total += sb.outbox.size();
+    for (const MsgHeader& h : sb.outbox) ++cursor_[h.to];
   }
   // Exclusive prefix sums become the per-node spans of the back buffer.
   next_offsets_[0] = 0;
@@ -40,12 +69,25 @@ void MessageArena::flip(std::vector<ShardBuffer>& shards) {
   next_buf_.resize(total);
   // Stable scatter: shards ascend, each outbox in send order — together the
   // exact serial send order, so inbox contents are scheduler-independent.
-  for (ShardBuffer& sb : shards) {
-    for (Outgoing& o : sb.outbox) next_buf_[cursor_[o.to]++] = std::move(o.msg);
+  // Payload pointers resolve into the shard pool; the buffer swap below
+  // transfers ownership of that heap block without moving a byte of it.
+  for (unsigned s = 0; s < shards.size(); ++s) {
+    ShardBuffer& sb = shards[s];
+    const Packet* pool = sb.pool.data();
+    for (const MsgHeader& h : sb.outbox) {
+      next_buf_[cursor_[h.to]++] = Received{h.from, h.via, pool + h.ref};
+    }
     sb.outbox.clear();
+    // Recycle: the freshly staged payload buffer moves into next_pools_ (it
+    // backs next_buf_, the round about to run); the shard gets the buffer
+    // from two flips ago back — no longer referenced — cleared but with its
+    // capacity intact, so steady-state staging never allocates.
+    sb.pool.swap(next_pools_[s]);
+    sb.pool.clear();
   }
   buf_.swap(next_buf_);
   offsets_.swap(next_offsets_);
+  pools_.swap(next_pools_);
 }
 
 void SlotBuckets::reset(NodeId n, std::uint64_t ticks_per_slot,
@@ -59,34 +101,41 @@ void SlotBuckets::reset(NodeId n, std::uint64_t ticks_per_slot,
   ring_.assign(ring_slots, {});
   staged_.clear();
   offsets_.assign(n_ + 1, 0);
+  pool_.reset();
 }
 
-void SlotBuckets::push(AsyncSend&& send) {
-  MMN_ASSERT(send.due_tick >= 1, "delivery tick predates the first slot");
+void SlotBuckets::push(const AsyncMsgHeader& send, const Packet& payload) {
+  MMN_DCHECK(send.due_tick >= 1, "delivery tick predates the first slot");
   const std::uint64_t due_slot = (send.due_tick - 1) / ticks_per_slot_;
   ring_[due_slot % ring_.size()].push_back(
-      StampedMessage{send.due_tick, next_seq_++, send.to, std::move(send.msg)});
+      StampedHeader{send.due_tick, next_seq_++, send.to, send.from, send.via,
+                    pool_.acquire(payload)});
   ++in_flight_;
 }
 
 std::size_t SlotBuckets::stage(std::uint64_t slot) {
-  std::vector<StampedMessage>& bucket = ring_[slot % ring_.size()];
+  // The previous table's payloads were consumed by the delivery sub-round
+  // that read it; their slots go back to the free list before the headers
+  // are dropped.
+  for (const StampedHeader& h : staged_) pool_.release(h.ref);
+  std::vector<StampedHeader>& bucket = ring_[slot % ring_.size()];
   staged_.clear();
   staged_.swap(bucket);  // the bucket keeps staged_'s old capacity
   // Every slot's delivery loop ends on an empty stage; skip the O(n)
   // offsets rebuild for it (inbox() is never consulted on a zero return).
   if (staged_.empty()) return 0;
   // Group by destination, each destination ascending (tick, seq).  seq is
-  // unique, so the order is total and scheduler-independent.
+  // unique, so the order is total and scheduler-independent.  Only 32-byte
+  // headers move through the sort; payloads stay in the pool.
   std::sort(staged_.begin(), staged_.end(),
-            [](const StampedMessage& a, const StampedMessage& b) {
+            [](const StampedHeader& a, const StampedHeader& b) {
               if (a.to != b.to) return a.to < b.to;
               if (a.tick != b.tick) return a.tick < b.tick;
               return a.seq < b.seq;
             });
   std::fill(offsets_.begin(), offsets_.end(), 0);
-  for (const StampedMessage& m : staged_) {
-    MMN_ASSERT((m.tick - 1) / ticks_per_slot_ == slot,
+  for (const StampedHeader& m : staged_) {
+    MMN_DCHECK((m.tick - 1) / ticks_per_slot_ == slot,
                "bucket ring too small for the delay bound");
     ++offsets_[m.to + 1];
   }
@@ -117,7 +166,7 @@ RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
     rngs_.push_back(root.fork(v));
   }
   shards_.resize(scheduler_->shards());
-  arena_.reset(n);
+  arena_.reset(n, scheduler_->shards());
   discipline_->reset(n);
 }
 
@@ -128,19 +177,21 @@ SlotObservation RuntimeCore::resolve_slot() {
   return obs;
 }
 
-std::int64_t RuntimeCore::run_round(const Scheduler::NodeFn& fn) {
+std::int64_t RuntimeCore::run_round(Scheduler::NodeFn fn) {
   scheduler_->for_each_node(num_nodes(), fn);
   std::int64_t finished_delta = 0;
   for (ShardBuffer& sb : shards_) {
     for (ChannelWrite& w : sb.channel_writes) {
       slot_writes_.push_back(std::move(w));
     }
+    sb.channel_writes.clear();
     metrics_.p2p_messages += sb.p2p_sent;
+    sb.p2p_sent = 0;
     finished_delta += sb.finished_delta;
+    sb.finished_delta = 0;
   }
   slot_ = resolve_slot();
-  arena_.flip(shards_);  // also clears the shard outboxes
-  for (ShardBuffer& sb : shards_) sb.clear_round();
+  arena_.flip(shards_);  // clears the shard outboxes, recycles the pools
   ++round_;
   ++metrics_.rounds;
   return finished_delta;
@@ -152,8 +203,8 @@ std::int64_t RuntimeCore::commit_async_phase() {
     for (ChannelWrite& w : sb.channel_writes) {
       slot_writes_.push_back(std::move(w));
     }
-    for (AsyncSend& send : sb.async_outbox) {
-      slot_buckets_.push(std::move(send));
+    for (const AsyncMsgHeader& send : sb.async_outbox) {
+      slot_buckets_.push(send, sb.pool[send.ref]);
     }
     metrics_.p2p_messages += sb.p2p_sent;
     finished_delta += sb.finished_delta;

@@ -7,20 +7,25 @@
 // RuntimeCore owns that substrate exactly once; the engines are thin
 // stepping policies over it.
 //
-// Message delivery uses a double-buffered flat arena: every round's
-// deliveries live in ONE contiguous Received buffer with per-node offset
-// spans, rebuilt by a stable counting sort from the per-shard send buffers.
-// This replaces per-node inbox vectors and their per-round allocation/clear
-// churn, and it is what makes parallel execution deterministic: shards are
-// contiguous ascending node ranges, so concatenating their buffers in shard
-// order reproduces the serial send order bit for bit (see sim/scheduler.hpp).
+// Hot-path data layout (the full argument lives in ARCHITECTURE.md):
+// message delivery is structure-of-arrays.  A staged send is a small POD
+// header (destination, sender, link, plus tick/seq stamps on the
+// asynchronous path) carrying a PacketRef index into a packet pool; the
+// per-round counting sort in MessageArena::flip and the bucket drain in
+// SlotBuckets::stage move 16–32-byte headers while the 80-byte payloads
+// stay put.  Pools and ring buckets are recycled at their high-water-mark
+// capacity, so a warmed-up run performs zero heap allocations per round.
+// Determinism is unchanged: shards are contiguous ascending node ranges,
+// so concatenating their header buffers in shard order reproduces the
+// serial send order bit for bit (see sim/scheduler.hpp) — the payload
+// indirection never participates in ordering.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -28,6 +33,7 @@
 #include "sim/channel_discipline.hpp"
 #include "sim/message.hpp"
 #include "sim/scheduler.hpp"
+#include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
 
@@ -48,64 +54,205 @@ struct LocalView {
   NodeId n = 0;
   std::vector<Neighbor> links;  ///< ascending weight
 
-  /// Index into `links` of the given edge, or -1.  O(1) once finalize() ran
-  /// (RuntimeCore finalizes every view at construction); hand-built views
-  /// fall back to a linear scan.
+  /// Index into `links` of the given edge, or -1.  O(log degree): binary
+  /// search over the edge-sorted flat index finalize() built.  Views must be
+  /// finalized before use — RuntimeCore finalizes every view at
+  /// construction, and hand-built views must call finalize() themselves.
   int link_index(EdgeId edge) const {
-    if (!edge_index_.empty()) {
-      const auto it = edge_index_.find(edge);
-      return it == edge_index_.end() ? -1 : static_cast<int>(it->second);
-    }
-    for (std::size_t i = 0; i < links.size(); ++i) {
-      if (links[i].edge == edge) return static_cast<int>(i);
-    }
-    return -1;
+    MMN_DCHECK(links.empty() || !edge_index_.empty(),
+               "LocalView::finalize() was never called");
+    const auto it = std::lower_bound(
+        edge_index_.begin(), edge_index_.end(), edge,
+        [](const EdgeSlot& e, EdgeId key) { return e.edge < key; });
+    if (it == edge_index_.end() || it->edge != edge) return -1;
+    return static_cast<int>(it->slot);
   }
 
   /// Builds the edge -> link-slot lookup; call once after `links` is final.
   void finalize();
 
  private:
-  std::unordered_map<EdgeId, std::uint32_t> edge_index_;
+  /// One entry of the flat edge index: links[slot].edge == edge.  A sorted
+  /// array + binary search beats the former unordered_map on the send path —
+  /// no hashing, no pointer chase, and the whole index of a typical degree
+  /// fits in one or two cache lines.
+  struct EdgeSlot {
+    EdgeId edge;
+    std::uint32_t slot;
+  };
+  std::vector<EdgeSlot> edge_index_;  ///< ascending edge id
 };
 
-/// A point-to-point message as received.
+/// A point-to-point message as received: the delivery header plus a pointer
+/// to the payload in the round's packet pool.  Handed to node code by value;
+/// the payload pointer is valid only for the duration of the handler call
+/// (the pool is recycled once the round ends) — a process that needs the
+/// payload later must copy the Packet, not the Received.
 struct Received {
   NodeId from = kNoNode;
   EdgeId via = kNoEdge;
-  Packet packet;
+  const Packet* pkt = nullptr;
+
+  const Packet& packet() const { return *pkt; }
+};
+
+/// A staged point-to-point send: the 16-byte unit MessageArena::flip
+/// counting-sorts.  `ref` indexes the staging shard's packet pool.
+struct MsgHeader {
+  NodeId to = kNoNode;
+  NodeId from = kNoNode;
+  EdgeId via = kNoEdge;
+  PacketRef ref = 0;
+};
+
+/// A send staged by the asynchronous policy.  The delivery tick is already
+/// fixed (drawn from the sender's own RNG stream at send time); the global
+/// order stamp is assigned when the phase commits, in ascending shard order
+/// — i.e. in exactly the serial emission order.
+struct AsyncMsgHeader {
+  std::uint64_t due_tick = 0;
+  NodeId to = kNoNode;
+  NodeId from = kNoNode;
+  EdgeId via = kNoEdge;
+  PacketRef ref = 0;
+};
+
+/// Externally visible effects of one shard's nodes during one round (or one
+/// asynchronous slot phase).  Nodes of one shard run sequentially, so no
+/// synchronization is needed; the core merges shards in ascending order
+/// after the barrier.  Cache-line aligned: adjacent shards are written by
+/// different worker threads on the hottest path (every send of every node),
+/// so they must not share a line.
+struct alignas(64) ShardBuffer {
+  std::vector<MsgHeader> outbox;
+  std::vector<AsyncMsgHeader> async_outbox;
+  std::vector<Packet> pool;  ///< payloads behind outbox/async_outbox refs
+  std::vector<ChannelWrite> channel_writes;
+  std::uint64_t p2p_sent = 0;
+  std::int64_t finished_delta = 0;  ///< nodes that toggled finished()
+
+  /// Files one payload in the shard's pool and returns its ref.
+  PacketRef stage_packet(const Packet& packet) {
+    const PacketRef ref = static_cast<PacketRef>(pool.size());
+    pool.push_back(packet);
+    return ref;
+  }
+
+  void clear_round() {
+    outbox.clear();
+    async_outbox.clear();
+    pool.clear();
+    channel_writes.clear();
+    p2p_sent = 0;
+    finished_delta = 0;
+  }
 };
 
 /// Per-round API handed to a Process.  All sends happen "this round" and are
 /// delivered next round; at most one channel write per round.
-class NodeContext {
+///
+/// A concrete final class, not an interface: the engine's hot path reaches
+/// send/inbox/channel_write without any virtual dispatch (the one virtual
+/// seam per node per round is Process::round itself).  The synchronizer
+/// (core/synchronizer.hpp), which runs synchronous Processes over the
+/// asynchronous engine, plugs in through the Sink escape hatch — a pair of
+/// raw function pointers taken only when no shard buffer is attached, so the
+/// engine path pays a single predictable null test.
+class NodeContext final {
  public:
-  virtual ~NodeContext() = default;
+  /// External effect sink for contexts not backed by an engine shard (the
+  /// busy-tone synchronizer's shim).  Both hooks are required.
+  struct Sink {
+    void (*send)(void* self, EdgeId edge, const Packet& packet) = nullptr;
+    void (*channel_write)(void* self, const Packet& packet) = nullptr;
+    void* self = nullptr;
+  };
 
-  virtual std::uint64_t round() const = 0;
-  virtual const LocalView& view() const = 0;
-  virtual Rng& rng() = 0;
+  /// Engine staging path: effects go to `shard`, merged after the barrier.
+  NodeContext(const LocalView& view, Rng& rng, std::span<const Received> inbox,
+              const SlotObservation& slot, std::uint64_t round,
+              ShardBuffer& shard)
+      : view_(&view),
+        rng_(&rng),
+        slot_(&slot),
+        shard_(&shard),
+        inbox_(inbox),
+        round_(round) {}
+
+  /// Sink path: effects go through `sink` (synchronizer shim).
+  NodeContext(const LocalView& view, Rng& rng, std::span<const Received> inbox,
+              const SlotObservation& slot, std::uint64_t round, Sink sink)
+      : view_(&view),
+        rng_(&rng),
+        slot_(&slot),
+        sink_(sink),
+        inbox_(inbox),
+        round_(round) {}
+
+  NodeContext(const NodeContext&) = delete;
+  NodeContext& operator=(const NodeContext&) = delete;
+
+  std::uint64_t round() const { return round_; }
+  const LocalView& view() const { return *view_; }
+  Rng& rng() { return *rng_; }
 
   /// Messages delivered this round (a span into the round's flat arena;
   /// valid only for the duration of the round call).
-  virtual std::span<const Received> inbox() const = 0;
+  std::span<const Received> inbox() const { return inbox_; }
 
   /// The outcome of the previous round's channel slot.
-  virtual const SlotObservation& slot() const = 0;
+  const SlotObservation& slot() const { return *slot_; }
 
   /// Sends a packet over one of this node's incident links.
-  virtual void send(EdgeId edge, const Packet& packet) = 0;
+  void send(EdgeId edge, const Packet& packet) {
+    if (shard_ == nullptr) [[unlikely]] {
+      sink_.send(sink_.self, edge, packet);
+      sent_message_ = true;
+      return;
+    }
+    const int idx = view_->link_index(edge);
+    MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
+    MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
+                "packet exceeds the O(log n) bound");
+    const Neighbor& nb = view_->links[static_cast<std::size_t>(idx)];
+    shard_->outbox.push_back(
+        MsgHeader{nb.id, view_->self, edge, shard_->stage_packet(packet)});
+    ++shard_->p2p_sent;
+    sent_message_ = true;
+  }
 
   /// Writes to the channel slot of the current round (at most once).
-  virtual void channel_write(const Packet& packet) = 0;
+  void channel_write(const Packet& packet) {
+    MMN_REQUIRE(!wrote_channel_, "at most one channel write per node per slot");
+    if (shard_ == nullptr) [[unlikely]] {
+      sink_.channel_write(sink_.self, packet);
+      wrote_channel_ = true;
+      return;
+    }
+    MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
+                "packet exceeds the O(log n) bound");
+    wrote_channel_ = true;
+    shard_->channel_writes.push_back(ChannelWrite{view_->self, packet});
+  }
 
   /// True if this node already wrote to the channel this round.
-  virtual bool wrote_channel() const = 0;
+  bool wrote_channel() const { return wrote_channel_; }
 
   /// True if this node sent at least one point-to-point message this round.
-  virtual bool sent_message() const = 0;
+  bool sent_message() const { return sent_message_; }
 
-  NodeId self() const { return view().self; }
+  NodeId self() const { return view_->self; }
+
+ private:
+  const LocalView* view_;
+  Rng* rng_;
+  const SlotObservation* slot_;
+  ShardBuffer* shard_ = nullptr;  ///< null => route through sink_
+  Sink sink_{};
+  std::span<const Received> inbox_;
+  std::uint64_t round_;
+  bool wrote_channel_ = false;
+  bool sent_message_ = false;
 };
 
 /// A node program.  round() is invoked exactly once per simulated round.
@@ -121,79 +268,88 @@ class Process {
 
 using ProcessFactory = std::function<std::unique_ptr<Process>(const LocalView&)>;
 
-/// A point-to-point send staged for end-of-round delivery.
-struct Outgoing {
-  NodeId to = kNoNode;
-  Received msg;
-};
-
-/// A point-to-point send staged by the asynchronous policy.  The delivery
-/// tick is already fixed (drawn from the sender's own RNG stream at send
-/// time); the global order stamp is assigned when the phase commits, in
-/// ascending shard order — i.e. in exactly the serial emission order.
-struct AsyncSend {
-  std::uint64_t due_tick = 0;
-  NodeId to = kNoNode;
-  Received msg;
-};
-
-/// Externally visible effects of one shard's nodes during one round (or one
-/// asynchronous slot phase).  Nodes of one shard run sequentially, so no
-/// synchronization is needed; the core merges shards in ascending order
-/// after the barrier.  Cache-line aligned: adjacent shards are written by
-/// different worker threads on the hottest path (every send of every node),
-/// so they must not share a line.
-struct alignas(64) ShardBuffer {
-  std::vector<Outgoing> outbox;
-  std::vector<AsyncSend> async_outbox;
-  std::vector<ChannelWrite> channel_writes;
-  std::uint64_t p2p_sent = 0;
-  std::int64_t finished_delta = 0;  ///< nodes that toggled finished()
-
-  void clear_round() {
-    outbox.clear();
-    async_outbox.clear();
-    channel_writes.clear();
-    p2p_sent = 0;
-    finished_delta = 0;
+/// Fixed-capacity recycling payload store for in-flight asynchronous
+/// messages: acquire() files a packet under a stable PacketRef, release()
+/// returns the slot to the free list.  Slots are only appended when the free
+/// list is empty, so a warmed-up pool sits at its high-water mark and never
+/// allocates again.  Refs stay valid across the backing vector's growth
+/// (they are indices, not pointers); at(ref) pointers are only materialized
+/// transiently, between mutations.
+class PacketPool {
+ public:
+  void reset() {
+    slots_.clear();
+    free_.clear();
   }
+
+  PacketRef acquire(const Packet& packet) {
+    if (!free_.empty()) {
+      const PacketRef ref = free_.back();
+      free_.pop_back();
+      slots_[ref] = packet;
+      return ref;
+    }
+    slots_.push_back(packet);
+    return static_cast<PacketRef>(slots_.size() - 1);
+  }
+
+  void release(PacketRef ref) { free_.push_back(ref); }
+
+  const Packet& at(PacketRef ref) const { return slots_[ref]; }
+
+  /// High-water mark: every slot ever acquired (free or live).
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketRef> free_;
 };
 
 /// Double-buffered flat delivery buffer: all messages delivered in the
 /// current round, grouped by destination, with per-node offset spans.
+/// flip() counting-sorts 16-byte MsgHeaders and steals the shards' packet
+/// pools by buffer swap, so payloads are written once at send time and never
+/// copied again; the pools rotate through a two-deep recycle queue and are
+/// handed back to the shards with their capacity intact.
 class MessageArena {
  public:
-  void reset(NodeId n);
+  void reset(NodeId n, unsigned shards);
 
   std::span<const Received> inbox(NodeId v) const {
     return {buf_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
-  /// Counting-sorts the staged sends of all shards (ascending shard order,
+  /// Counting-sorts the staged headers of all shards (ascending shard order,
   /// preserving per-shard send order — i.e. exactly the serial send order)
-  /// into the back buffer, clears the shard outboxes, and flips buffers.
+  /// into the back buffer, recycles the shard pools, and flips buffers.
   void flip(std::vector<ShardBuffer>& shards);
 
  private:
   NodeId n_ = 0;
+  bool empty_ = true;  // both delivery buffers empty, both offset sets zero
   std::vector<Received> buf_;       // delivered this round
   std::vector<Received> next_buf_;  // being filled for next round
   std::vector<std::uint32_t> offsets_;       // n_ + 1 spans into buf_
   std::vector<std::uint32_t> next_offsets_;  // n_ + 1 spans into next_buf_
   std::vector<std::uint32_t> cursor_;        // scatter cursors, n_
+  std::vector<std::vector<Packet>> pools_;   // per shard, backing buf_
+  std::vector<std::vector<Packet>> next_pools_;  // recycled next flip
 };
 
-/// An in-flight asynchronous message, stamped for deterministic delivery:
-/// `tick` is its fixed delivery time, `seq` its position in the serial
-/// emission order.  Within one staged delivery sub-round, a node handles
-/// its messages in ascending (tick, seq); across sub-rounds, causal order
-/// wins — an intra-slot cascade is always handled after the sub-round that
-/// triggered it, even if its tick is smaller (see sim/async_engine.hpp).
-struct StampedMessage {
+/// An in-flight asynchronous message header, stamped for deterministic
+/// delivery: `tick` is its fixed delivery time, `seq` its position in the
+/// serial emission order, `ref` its payload in the bucket store's pool.
+/// Within one staged delivery sub-round, a node handles its messages in
+/// ascending (tick, seq); across sub-rounds, causal order wins — an
+/// intra-slot cascade is always handled after the sub-round that triggered
+/// it, even if its tick is smaller (see sim/async_engine.hpp).
+struct StampedHeader {
   std::uint64_t tick = 0;
   std::uint64_t seq = 0;
   NodeId to = kNoNode;
-  Received msg;
+  NodeId from = kNoNode;
+  EdgeId via = kNoEdge;
+  PacketRef ref = 0;
 };
 
 /// Slot-bucketed delivery store for the asynchronous stepping policy: every
@@ -204,26 +360,37 @@ struct StampedMessage {
 /// like a synchronous round.  Because seq stamps are assigned at commit time
 /// in ascending shard order, the table is scheduler-independent: parallel
 /// async runs see bit-identical delivery orders to serial ones.
+///
+/// Only 32-byte headers move through the buckets and the sort; payloads live
+/// in a recycling PacketPool from commit to delivery.  Ring buckets, the
+/// staged table, and the pool all retain their high-water capacity, so a
+/// warmed-up engine stages slots without heap allocation.
 class SlotBuckets {
  public:
   /// Sizes the store: n destination nodes, the tick<->slot mapping, and the
   /// bucket ring (ring_slots must exceed the maximum delivery-slot span).
   void reset(NodeId n, std::uint64_t ticks_per_slot, std::uint64_t ring_slots);
 
-  /// Stamps one committed send with the next serial-order seq and files it
-  /// under its delivery slot.  Call in ascending shard order only.
-  void push(AsyncSend&& send);
+  /// Stamps one committed send with the next serial-order seq, files its
+  /// payload in the pool, and files the header under its delivery slot.
+  /// Call in ascending shard order only.
+  void push(const AsyncMsgHeader& send, const Packet& payload);
 
   /// Drains every message due in `slot` into the delivery table; returns the
   /// number of messages staged.  Messages pushed after this call land in a
   /// fresh bucket, so calling again stages only the intra-slot cascades.
+  /// The previous table's payloads are released back to the pool.
   std::size_t stage(std::uint64_t slot);
 
   /// Messages staged for `v` by the last stage() call, ascending (tick, seq).
   /// Valid until the next stage() call.
-  std::span<const StampedMessage> inbox(NodeId v) const {
+  std::span<const StampedHeader> inbox(NodeId v) const {
     return {staged_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
+
+  /// Payload of a staged header.  The reference is valid until the next
+  /// push() or stage() call — materialize per delivery, do not hold.
+  const Packet& payload(PacketRef ref) const { return pool_.at(ref); }
 
   /// Total messages filed but not yet staged for delivery.
   std::size_t in_flight() const { return in_flight_; }
@@ -233,9 +400,10 @@ class SlotBuckets {
   std::uint64_t ticks_per_slot_ = 1;
   std::uint64_t next_seq_ = 0;
   std::size_t in_flight_ = 0;
-  std::vector<std::vector<StampedMessage>> ring_;  ///< bucket = slot % size
-  std::vector<StampedMessage> staged_;  ///< last staged slot, (to, tick, seq)
+  std::vector<std::vector<StampedHeader>> ring_;  ///< bucket = slot % size
+  std::vector<StampedHeader> staged_;  ///< last staged slot, (to, tick, seq)
   std::vector<std::uint32_t> offsets_;  ///< n_ + 1 spans into staged_
+  PacketPool pool_;                     ///< payloads, commit -> delivery
 };
 
 /// The substrate both engines execute on.
@@ -267,7 +435,7 @@ class RuntimeCore {
   /// commits deterministically — channel writes and p2p sends merged in
   /// ascending shard order, slot resolved, arena flipped, round advanced.
   /// Returns the net change in the number of finished nodes.
-  std::int64_t run_round(const Scheduler::NodeFn& fn);
+  std::int64_t run_round(Scheduler::NodeFn fn);
 
   /// Resolves the current slot through the channel discipline: the staged
   /// writes (ascending commit order = ascending node order within the slot)

@@ -20,7 +20,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -33,17 +32,29 @@ namespace mmn::sim {
 
 class Scheduler {
  public:
-  /// Invoked once per node; `shard` identifies the staging buffer the node's
-  /// effects must go to.  Must be safe to call concurrently for nodes of
-  /// *different* shards (nodes of one shard run sequentially).
-  using NodeFn = std::function<void(unsigned shard, NodeId node)>;
+  /// The per-node callback of one round: a raw function pointer plus an
+  /// untyped environment, invoked once per node.  `shard` identifies the
+  /// staging buffer the node's effects must go to.  Must be safe to call
+  /// concurrently for nodes of *different* shards (nodes of one shard run
+  /// sequentially).  A plain pointer pair — not std::function — so the
+  /// per-node call in the scheduler's inner loop is a direct indirect call
+  /// with no type-erasure thunk, and building one never allocates.
+  struct NodeFn {
+    using Fn = void (*)(void* env, unsigned shard, NodeId node);
+    Fn fn = nullptr;
+    void* env = nullptr;
+
+    void operator()(unsigned shard, NodeId node) const {
+      fn(env, shard, node);
+    }
+  };
 
   virtual ~Scheduler() = default;
 
   virtual unsigned shards() const = 0;
 
   /// Runs fn for every node in [0, n); returns once all nodes ran (barrier).
-  virtual void for_each_node(NodeId n, const NodeFn& fn) = 0;
+  virtual void for_each_node(NodeId n, NodeFn fn) = 0;
 
   virtual const char* name() const = 0;
 
@@ -59,7 +70,7 @@ class Scheduler {
 class SerialScheduler final : public Scheduler {
  public:
   unsigned shards() const override { return 1; }
-  void for_each_node(NodeId n, const NodeFn& fn) override;
+  void for_each_node(NodeId n, NodeFn fn) override;
   const char* name() const override { return "serial"; }
 };
 
@@ -73,7 +84,7 @@ class ParallelScheduler final : public Scheduler {
   ParallelScheduler& operator=(const ParallelScheduler&) = delete;
 
   unsigned shards() const override { return num_threads_; }
-  void for_each_node(NodeId n, const NodeFn& fn) override;
+  void for_each_node(NodeId n, NodeFn fn) override;
   const char* name() const override { return "parallel"; }
 
  private:
@@ -87,7 +98,7 @@ class ParallelScheduler final : public Scheduler {
   std::uint64_t generation_ = 0;
   unsigned remaining_ = 0;
   NodeId round_n_ = 0;
-  const NodeFn* round_fn_ = nullptr;
+  NodeFn round_fn_{};  // two raw pointers; copied, never allocates
   bool stopping_ = false;
   std::vector<std::exception_ptr> errors_;
 };

@@ -1,6 +1,6 @@
 // Checked assertions and precondition helpers.
 //
-// Two distinct failure categories, per the error-handling split in the C++
+// Three distinct failure categories, per the error-handling split in the C++
 // Core Guidelines:
 //  * MMN_ASSERT  — internal invariant of the library.  A violation is a bug in
 //    mmn itself; the process aborts with a diagnostic.  Always on, including
@@ -8,6 +8,11 @@
 //    invariants hold.
 //  * MMN_REQUIRE — precondition on a public API.  A violation is a caller bug
 //    and throws std::invalid_argument so applications can test and recover.
+//  * MMN_DCHECK  — invariant on a per-word / per-message hot path whose cost
+//    would be paid millions of times per simulated round.  Checked like
+//    MMN_ASSERT in debug builds, compiled out under NDEBUG; every DCHECK'd
+//    condition must also be enforced at a colder boundary (construction or
+//    send commit) so release builds cannot silently accept invalid state.
 #pragma once
 
 #include <string>
@@ -35,3 +40,11 @@ namespace mmn {
       ::mmn::precondition_failure(#expr, __func__, (message));    \
     }                                                             \
   } while (false)
+
+#ifdef NDEBUG
+#define MMN_DCHECK(expr, message) \
+  do {                            \
+  } while (false)
+#else
+#define MMN_DCHECK(expr, message) MMN_ASSERT(expr, message)
+#endif

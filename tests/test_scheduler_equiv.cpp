@@ -232,7 +232,7 @@ class AsyncRelay final : public sim::AsyncProcess {
 
   void on_message(const sim::Received& msg, sim::AsyncContext& ctx) override {
     trace_.push_back(static_cast<NodeId>(msg.from));
-    const sim::Word hops = msg.packet[0];
+    const sim::Word hops = msg.packet()[0];
     if (hops > 0) {
       for (const sim::Neighbor& nb : view_.links) {
         if (nb.id != msg.from) ctx.send(nb.edge, sim::Packet(1, {hops - 1}));

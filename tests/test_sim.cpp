@@ -24,13 +24,25 @@ TEST(Packet, HoldsWordsUpToLimit) {
   EXPECT_EQ(p[0], 1);
   EXPECT_EQ(p[2], 3);
   for (std::size_t i = p.size(); i < Packet::kMaxWords; ++i) p.push(0);
-  EXPECT_THROW(p.push(1), std::invalid_argument);
+  EXPECT_EQ(p.size(), Packet::kMaxWords);
 }
 
-TEST(Packet, IndexOutOfRangeThrows) {
-  const Packet p(1, {5});
-  EXPECT_THROW(p[1], std::invalid_argument);
+TEST(Packet, ConstructionBeyondLimitThrows) {
+  // The O(log n) bound is enforced at the cold boundaries: word-list
+  // construction here, and every send/channel-write commit (tested below by
+  // OversizedPacketRejectedAtSendCommit).  Per-word push/operator[] checks
+  // are debug-only MMN_DCHECKs that compile out in release builds.
+  EXPECT_THROW(Packet(1, {1, 2, 3, 4, 5, 6, 7, 8, 9}), std::invalid_argument);
 }
+
+#ifndef NDEBUG
+TEST(Packet, DebugBuildChecksPerWordAccess) {
+  Packet p(1, {5});
+  EXPECT_DEATH(p[1], "out of range");
+  for (std::size_t i = p.size(); i < Packet::kMaxWords; ++i) p.push(0);
+  EXPECT_DEATH(p.push(1), "O\\(log n\\) bound");
+}
+#endif
 
 TEST(Packet, Equality) {
   EXPECT_EQ(Packet(1, {2, 3}), Packet(1, {2, 3}));
@@ -71,8 +83,15 @@ TEST(Channel, ResetsBetweenSlots) {
 constexpr std::uint16_t kPing = 1;
 
 /// Node 0 sends a ping on its first link in round 0; everyone records inbox.
+/// Payloads are copied out of the inbox: a Received's packet pointer is only
+/// valid for the duration of the round call (the arena pool is recycled).
 class PingProcess final : public Process {
  public:
+  struct Recorded {
+    NodeId from;
+    Packet packet;
+  };
+
   explicit PingProcess(const LocalView& view) : view_(view) {}
 
   void round(NodeContext& ctx) override {
@@ -81,7 +100,7 @@ class PingProcess final : public Process {
       EXPECT_TRUE(ctx.sent_message());
     }
     for (const Received& r : ctx.inbox()) {
-      received_.push_back(r);
+      received_.push_back(Recorded{r.from, r.packet()});
       received_round_ = ctx.round();
     }
     done_ = ctx.round() >= 2;
@@ -90,7 +109,7 @@ class PingProcess final : public Process {
   bool finished() const override { return done_; }
 
   const LocalView& view_;
-  std::vector<Received> received_;
+  std::vector<Recorded> received_;
   std::uint64_t received_round_ = 0;
   bool done_ = false;
 };
@@ -206,6 +225,37 @@ TEST(Engine, RejectsSendOverNonIncidentLink) {
   engine.run(5);
 }
 
+#ifdef NDEBUG
+/// Builds a packet past the O(log n) bound (possible only in release builds,
+/// where the per-word push check compiles out) and verifies the bound is
+/// still enforced at the send commit.
+class OversizeSendProcess final : public Process {
+ public:
+  explicit OversizeSendProcess(const LocalView& view) : view_(view) {}
+  void round(NodeContext& ctx) override {
+    Packet p(1);
+    for (std::size_t i = 0; i <= Packet::kMaxWords; ++i) {
+      p.push(static_cast<Word>(i));
+    }
+    EXPECT_GT(p.size(), Packet::kMaxWords);
+    EXPECT_THROW(ctx.send(view_.links[0].edge, p), std::invalid_argument);
+    EXPECT_THROW(ctx.channel_write(p), std::invalid_argument);
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+  const LocalView& view_;
+  bool done_ = false;
+};
+
+TEST(Engine, OversizedPacketRejectedAtSendCommit) {
+  const Graph g = path(2, 1);
+  Engine engine(g, [](const LocalView& v) {
+    return std::make_unique<OversizeSendProcess>(v);
+  }, 7);
+  engine.run(5);
+}
+#endif
+
 TEST(Engine, EveryRoundResolvesExactlyOneSlot) {
   // Global accounting invariant: rounds == idle + success + collision slots.
   const Graph g = ring(7, 1);
@@ -293,7 +343,7 @@ class AsyncEcho final : public AsyncProcess {
   }
 
   void on_message(const Received& msg, AsyncContext& ctx) override {
-    if (msg.packet[0] == 1) {
+    if (msg.packet()[0] == 1) {
       ctx.send(msg.via, Packet(kAsyncPing, {2}));
     } else {
       got_echo_ = true;
@@ -405,7 +455,7 @@ class BurstRecorder final : public AsyncProcess {
 
   void on_message(const Received& msg, AsyncContext& ctx) override {
     delivery_slots_.push_back(ctx.slot_index());
-    payloads_.push_back(msg.packet[0]);
+    payloads_.push_back(msg.packet()[0]);
   }
 
   void on_slot(const SlotObservation&, AsyncContext&) override {}

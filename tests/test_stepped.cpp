@@ -185,14 +185,14 @@ TEST(Stepped, ObservedStepEndsOnSharedVerdict) {
 TEST(Stepped, SequenceRunsStagesBackToBack) {
   const Graph g = path(4, 1);
   sim::Engine engine(g, [](const sim::LocalView& v) {
-    std::vector<std::unique_ptr<sim::Process>> stages;
+    std::vector<std::unique_ptr<SteppedProcess>> stages;
     stages.push_back(std::make_unique<WaveProcess>(v));
     stages.push_back(std::make_unique<WaveProcess>(v));
-    return std::make_unique<SequenceProcess>(std::move(stages));
+    return std::make_unique<SteppedSequenceProcess>(std::move(stages));
   }, 3);
   engine.run(1000);
   // Both stages ran: stage 1's begin rounds are all strictly after stage 0's.
-  const auto& seq = static_cast<const SequenceProcess&>(engine.process(0));
+  const auto& seq = static_cast<const SteppedSequenceProcess&>(engine.process(0));
   const auto& s0 = static_cast<const WaveProcess&>(seq.stage(0));
   const auto& s1 = static_cast<const WaveProcess&>(seq.stage(1));
   ASSERT_EQ(s0.begin_rounds_.size(), 3u);

@@ -30,7 +30,7 @@ then on the gate fails real hot-path regressions on that pool.
 
 Refreshing the baseline after an intentional perf change:
   ./build/bench_sim_throughput --json --benchmark_repetitions=3 \
-      --benchmark_filter='channel/resolve|discipline/|sched/'
+      --benchmark_filter='channel/resolve|discipline/|sched/|arena/|buckets/'
   cp BENCH_sim_throughput.json bench/baseline/
 """
 
@@ -41,9 +41,14 @@ import sys
 
 # Counters that represent throughput (higher is better); the first one
 # present on a benchmark entry is gated.
-THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "items_per_second")
+THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "items_per_second")
 
-DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/")
+# arena/ and buckets/ are the hot-path data-layout micro-counters
+# (MessageArena::flip, SlotBuckets::stage): the structures the SoA
+# header/payload split optimizes, gated so the layout cannot silently
+# regress back to payload-copying.
+DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/", "arena/",
+                    "buckets/")
 
 
 def load_benchmarks(path):
