@@ -23,7 +23,11 @@
 //   * arena/flip/<n>            — MessageArena staging + counting-sort flip
 //                                 of one all-to-some round at n nodes;
 //   * buckets/stage/<n>         — SlotBuckets push + stage drain of one
-//                                 slot's worth of in-flight messages.
+//                                 slot's worth of in-flight messages;
+//   * topology/build/<kind>/<n> — CSR (or implicit) topology construction at
+//                                 4k/16k/64k, with a bytes_per_node counter
+//                                 (graph arena + LocalViews) the perf gate
+//                                 holds down as a memory regression check.
 // This is the only wall-clock bench; all experiment tables use model
 // metrics.  `--json` maps to google-benchmark's JSON output, written to
 // BENCH_sim_throughput.json.
@@ -51,7 +55,7 @@ void run_scenario(benchmark::State& state, const scenario::Scenario& s,
   // Graph generation is hoisted out of the timed loop; the engine build and
   // run are the measured work.  The per-iteration scheduler construction
   // (thread spawn, ~0.1 ms) is noise against the >= 10^3 rounds per run.
-  const Graph g = s.make_graph(n, s.default_seed);
+  const Graph g = scenario::make_scenario_graph(s, n, s.default_seed);
   std::uint64_t rounds = 0;
   for (auto _ : state) {
     sim::Engine engine(g, s.make_factory(g), s.default_seed,
@@ -66,7 +70,7 @@ void run_async_scenario(benchmark::State& state, const scenario::Scenario& s,
                         NodeId n, unsigned threads) {
   // Like run_scenario: graph generation is untimed setup, the engine build
   // and run are the measured work.
-  const Graph g = s.make_graph(n, s.default_seed);
+  const Graph g = scenario::make_scenario_graph(s, n, s.default_seed);
   std::uint64_t slots = 0;
   for (auto _ : state) {
     sim::AsyncEngine engine(
@@ -270,6 +274,52 @@ void BM_BucketsStage(benchmark::State& state) {
 }
 BENCHMARK(BM_BucketsStage)->Name("buckets/stage")->Arg(4096)->Arg(16384);
 
+void run_topology_build(benchmark::State& state, TopoKind kind, NodeId n) {
+  // One iteration = building the full CSR topology (or the O(1) implicit
+  // descriptor) for the spec.  The bytes_per_node counter is the resident
+  // topology footprint — graph arena + the n non-owning LocalViews the
+  // runtime adds — per node; the perf gate holds it down so the zero-copy
+  // layout cannot silently regress back to per-node adjacency copies.
+  MMN_REQUIRE(topology_valid_n(kind, n), "bench size not admissible");
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const Graph g = build_topology(TopologySpec{kind, n, 7});
+    benchmark::DoNotOptimize(g.num_edges());
+    nodes += n;
+  }
+  const Graph g = build_topology(TopologySpec{kind, n, 7});
+  const std::size_t bytes = g.topology_bytes() + n * sizeof(sim::LocalView);
+  state.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kIsRate);
+  state.counters["bytes_per_node"] = benchmark::Counter(
+      static_cast<double>(bytes) / static_cast<double>(n));
+}
+
+void register_topology_benches() {
+  struct Case {
+    TopoKind kind;
+    NodeId n;
+  };
+  // 4k/16k/64k sweeps; the implicit clique at 16k would need ~4 GiB of
+  // explicit rows and costs a few hundred bytes here.
+  const Case cases[] = {
+      {TopoKind::kRing, 4096},          {TopoKind::kRing, 65536},
+      {TopoKind::kRandom, 4096},        {TopoKind::kRandom, 16384},
+      {TopoKind::kGrid, 4096},          {TopoKind::kGrid, 16384},
+      {TopoKind::kRay, 4096},           {TopoKind::kCliqueImplicit, 16384},
+      {TopoKind::kHypercube, 65536},
+  };
+  for (const Case& c : cases) {
+    benchmark::RegisterBenchmark(
+        ("topology/build/" + std::string(topology_name(c.kind)) + "/" +
+         std::to_string(c.n))
+            .c_str(),
+        [c](benchmark::State& state) {
+          run_topology_build(state, c.kind, c.n);
+        });
+  }
+}
+
 void BM_ChannelResolve(benchmark::State& state) {
   sim::Channel channel;
   Metrics metrics;
@@ -304,6 +354,7 @@ int main(int argc, char** argv) {
   int new_argc = static_cast<int>(args.size());
   mmn::register_scenario_sweeps();
   mmn::register_discipline_benches();
+  mmn::register_topology_benches();
   benchmark::Initialize(&new_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();

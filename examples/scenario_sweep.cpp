@@ -1,25 +1,34 @@
 // Scenario sweep: drive every registered workload from one table.
 //
 // The scenario registry (src/scenario/registry.hpp) names each workload —
-// graph family x protocol x channel discipline x default n/seed sweep —
-// once; this example validates the whole table, walks it at its smallest
-// size, optionally under the parallel scheduler, and prints the model
-// metrics plus the per-node result digest.  It is the template for adding a
-// new workload: register it once and every sweep driver (this example,
-// bench_sim_throughput, the scheduler equivalence suite) picks it up.
+// topology family x protocol x channel discipline x default n/seed sweep —
+// once; this example validates the whole table, walks it (by default at each
+// scenario's smallest sweep size), optionally under the parallel scheduler,
+// and prints the topology family, the realized size, the model metrics and
+// the per-node result digest.  Every entry is size-parameterized through
+// TopologySpec, so the same driver sweeps any size:
+//
+//   $ ./example_scenario_sweep                 # serial, default sizes
+//   $ ./example_scenario_sweep 8               # 8-thread parallel scheduler
+//   $ ./example_scenario_sweep --n=65536 --scenario=global/min/rand/ring
+//   $ ./example_scenario_sweep 4 --n=16384 --scenario=global/sum/bcast/iclique
+//
+// --n is STRICT: a size the topology family does not admit (a non-power-of-
+// two hypercube, a non-square grid) exits non-zero instead of silently
+// clamping — sweep automation must never report a different n than asked.
 //
 // CI diffs the serial and parallel tables row by row, so a malformed
 // registry entry must fail the sweep loudly instead of being skipped:
 // duplicate names, missing digests, or empty sweeps exit non-zero before
 // any run starts.
-//
-//   $ ./example_scenario_sweep            # serial
-//   $ ./example_scenario_sweep 8          # 8-thread parallel scheduler
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <string>
 
+#include "graph/generators.hpp"
 #include "scenario/registry.hpp"
 #include "sim/channel_discipline.hpp"
 #include "sim/scheduler.hpp"
@@ -59,44 +68,98 @@ bool validate_registry(const std::deque<mmn::scenario::Scenario>& scenarios) {
   return ok;
 }
 
+void print_row(const mmn::scenario::Scenario& s, const char* suffix,
+               const mmn::scenario::RunResult& r) {
+  std::printf("%-30s %-9s %-11s %8u %10llu %12llu %18llx\n",
+              (s.name + suffix).c_str(), mmn::topology_name(s.topology),
+              mmn::sim::discipline_name(s.discipline), r.realized_n,
+              (unsigned long long)r.metrics.rounds,
+              (unsigned long long)r.metrics.p2p_messages,
+              (unsigned long long)r.digest);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mmn;
-  long parsed = 1;
-  if (argc > 1) {
-    char* end = nullptr;
-    parsed = std::strtol(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || parsed < 1 || parsed > 256) {
-      std::fprintf(stderr, "usage: %s [threads: 1..256]\n", argv[0]);
-      return 2;
+  unsigned threads = 1;
+  NodeId requested_n = 0;  // 0 = each scenario's smallest sweep size
+  std::string only;        // empty = every scenario
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--n=", 4) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long n = std::strtoull(arg + 4, &end, 10);
+      // Strict parse: out-of-range values must fail, not truncate into a
+      // different (smaller) size than the caller asked for.
+      if (end == arg + 4 || *end != '\0' || errno == ERANGE || n < 1 ||
+          n > 0xFFFFFFFFull || arg[4] == '-') {
+        std::fprintf(stderr, "bad --n value: %s\n", arg + 4);
+        return 2;
+      }
+      requested_n = static_cast<NodeId>(n);
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      only = arg + 11;
+    } else {
+      char* end = nullptr;
+      const long parsed = std::strtol(arg, &end, 10);
+      if (end == arg || *end != '\0' || parsed < 1 || parsed > 256) {
+        std::fprintf(stderr,
+                     "usage: %s [threads: 1..256] [--n=N] [--scenario=NAME]\n",
+                     argv[0]);
+        return 2;
+      }
+      threads = static_cast<unsigned>(parsed);
     }
   }
-  const unsigned threads = static_cast<unsigned>(parsed);
 
   scenario::register_builtin();
   const auto& scenarios = scenario::Registry::instance().all();
   if (!validate_registry(scenarios)) return 1;
-  std::printf("%zu scenarios registered; scheduler: %s\n\n", scenarios.size(),
+  if (!only.empty() && scenario::Registry::instance().find(only) == nullptr) {
+    std::fprintf(stderr, "no such scenario: %s\n", only.c_str());
+    return 1;
+  }
+  // Strict size check up front: with an explicit --n every selected
+  // scenario's topology must admit exactly that n — no silent clamping.
+  if (requested_n != 0) {
+    bool ok = true;
+    for (const auto& s : scenarios) {
+      if (!only.empty() && s.name != only) continue;
+      if (!topology_valid_n(s.topology, requested_n)) {
+        std::fprintf(stderr,
+                     "%s: topology '%s' does not admit n=%u (nearest "
+                     "supported: %u)\n",
+                     s.name.c_str(), topology_name(s.topology), requested_n,
+                     topology_round_n(s.topology, requested_n));
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+  }
+
+  std::size_t selected = 0;
+  for (const auto& s : scenarios) selected += only.empty() || s.name == only;
+  std::printf("%zu scenario(s) selected of %zu registered; scheduler: %s\n\n",
+              selected, scenarios.size(),
               threads > 1 ? "parallel" : "serial");
-  std::printf("%-30s %-11s %6s %10s %12s %18s\n", "scenario", "discipline",
-              "n", "rounds", "msgs", "digest");
+  std::printf("%-30s %-9s %-11s %8s %10s %12s %18s\n", "scenario", "topology",
+              "discipline", "n", "rounds", "msgs", "digest");
   for (const auto& s : scenarios) {
-    const NodeId n = s.sweep_n.front();
+    if (!only.empty() && s.name != only) continue;
+    const NodeId n = requested_n != 0 ? requested_n : s.sweep_n.front();
     const scenario::RunResult r = scenario::run(
         s, n, s.default_seed,
         threads > 1 ? sim::make_scheduler(threads) : nullptr);
-    std::printf("%-30s %-11s %6u %10llu %12llu %18llx\n", s.name.c_str(),
-                sim::discipline_name(s.discipline), r.realized_n,
-                (unsigned long long)r.metrics.rounds,
-                (unsigned long long)r.metrics.p2p_messages,
-                (unsigned long long)r.digest);
+    print_row(s, "", r);
   }
   // Channel-free workloads also run on the asynchronous engine (through the
   // busy-tone synchronizer); rounds are channel slots there.
   for (const auto& s : scenarios) {
     if (!s.channel_free) continue;
-    const NodeId n = s.sweep_n.front();
+    if (!only.empty() && s.name != only) continue;
+    const NodeId n = requested_n != 0 ? requested_n : s.sweep_n.front();
     const scenario::RunResult r = scenario::run(
         s, n, s.default_seed,
         threads > 1 ? sim::make_scheduler(threads) : nullptr,
@@ -106,12 +169,7 @@ int main(int argc, char** argv) {
                    s.name.c_str());
       return 1;
     }
-    std::printf("%-30s %-11s %6u %10llu %12llu %18llx\n",
-                (s.name + "@async").c_str(),
-                sim::discipline_name(s.discipline), r.realized_n,
-                (unsigned long long)r.metrics.rounds,
-                (unsigned long long)r.metrics.p2p_messages,
-                (unsigned long long)r.digest);
+    print_row(s, "@async", r);
   }
   std::printf("\nRe-run with a thread count (e.g. `%s 8`): the rounds, msgs,\n"
               "and digest columns are identical by construction — both the\n"

@@ -32,7 +32,7 @@ void P2pGlobalProcess::step_begin(std::uint64_t step, sim::NodeContext& ctx) {
   switch (step) {
     case 0: {
       const sim::Packet flood(kFlood, {static_cast<sim::Word>(view_.self), 0});
-      for (const auto& link : view_.links) ctx.send(link.edge, flood);
+      for (const auto& link : view_.links()) ctx.send(link.edge, flood);
       break;
     }
     case 1:
@@ -49,7 +49,7 @@ void P2pGlobalProcess::step_begin(std::uint64_t step, sim::NodeContext& ctx) {
         have_result_ = true;
         result_ = acc_;
         const sim::Packet out(kResult, {result_});
-        for (const auto& link : view_.links) ctx.send(link.edge, out);
+        for (const auto& link : view_.links()) ctx.send(link.edge, out);
       }
       break;
     default:
@@ -62,7 +62,7 @@ void P2pGlobalProcess::step_round(std::uint64_t step, sim::NodeContext& ctx) {
   improved_ = false;
   const sim::Packet flood(kFlood, {static_cast<sim::Word>(best_id_),
                                    static_cast<sim::Word>(best_dist_)});
-  for (const auto& link : view_.links) {
+  for (const auto& link : view_.links()) {
     if (link.edge != parent_edge_) ctx.send(link.edge, flood);
   }
 }
@@ -103,7 +103,7 @@ void P2pGlobalProcess::on_message(std::uint64_t step, const sim::Received& msg,
         have_result_ = true;
         result_ = p[0];
         const sim::Packet out(kResult, {result_});
-        for (const auto& link : view_.links) {
+        for (const auto& link : view_.links()) {
           if (link.edge != msg.via) ctx.send(link.edge, out);
         }
       }

@@ -25,7 +25,7 @@ P2pMstProcess::P2pMstProcess(const sim::LocalView& view)
     : view_(view),
       core_(view.self),
       parent_(view.self),
-      link_internal_(view.links.size(), false) {
+      link_internal_(view.links().size(), false) {
   phases_ = view.n <= 1 ? 0 : ilog2_ceil(view.n);
   // Worst-case cover for sequential probing (2 rounds per incident link),
   // convergecasts and floods over fragments of uncontrolled Theta(n) radius.
@@ -100,14 +100,14 @@ void P2pMstProcess::step_begin(std::uint64_t step, sim::NodeContext& ctx) {
       if (is_core() && !is_f_root_ && have_mwoe_) {
         if (best_child_edge_ == kNoEdge) {
           const int idx = view_.link_index(gate_edge_);
-          parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+          parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
           parent_edge_ = gate_edge_;
           mark_internal(gate_edge_);
           ctx.send(gate_edge_, sim::Packet(kJoin));
         } else {
           const EdgeId down = best_child_edge_;
           const int idx = view_.link_index(down);
-          parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+          parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
           parent_edge_ = down;
           remove_child(down);
           ctx.send(down, sim::Packet(kFlip));
@@ -126,12 +126,13 @@ void P2pMstProcess::step_begin(std::uint64_t step, sim::NodeContext& ctx) {
 }
 
 void P2pMstProcess::probe_next_link(sim::NodeContext& ctx) {
-  while (probe_index_ < view_.links.size()) {
+  const NeighborRange links = view_.links();
+  while (probe_index_ < links.size()) {
     if (link_internal_[probe_index_]) {
       ++probe_index_;
       continue;
     }
-    ctx.send(view_.links[probe_index_].edge,
+    ctx.send(links[probe_index_].edge,
              sim::Packet(kTest, {static_cast<sim::Word>(core_)}));
     return;
   }
@@ -175,7 +176,7 @@ void P2pMstProcess::on_message(std::uint64_t /*step*/, const sim::Received& msg,
       probe_resolved_ = true;
       cand_edge_ = msg.via;
       cand_weight_ =
-          view_.links[static_cast<std::size_t>(view_.link_index(msg.via))]
+          view_.links()[static_cast<std::size_t>(view_.link_index(msg.via))]
               .weight;
       maybe_send_report(ctx);
       break;
@@ -213,14 +214,14 @@ void P2pMstProcess::on_message(std::uint64_t /*step*/, const sim::Received& msg,
       children_.push_back(msg.via);
       if (best_child_edge_ == kNoEdge) {
         const int idx = view_.link_index(gate_edge_);
-        parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+        parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
         parent_edge_ = gate_edge_;
         mark_internal(gate_edge_);
         ctx.send(gate_edge_, sim::Packet(kJoin));
       } else {
         const EdgeId down = best_child_edge_;
         const int idx = view_.link_index(down);
-        parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+        parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
         parent_edge_ = down;
         remove_child(down);
         ctx.send(down, sim::Packet(kFlip));

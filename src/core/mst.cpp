@@ -26,14 +26,15 @@ class MstProcess::ComputeStage final : public SteppedProcess {
       : view_(view),
         partition_(partition),
         capetanakis_(view.n, std::nullopt),
-        neighbor_init_(view.links.size(), -1),
-        mst_link_(view.links.size(), false) {}
+        neighbor_init_(view.links().size(), -1),
+        mst_link_(view.links().size(), false) {}
 
   std::vector<EdgeId> marked_edges() const {
     MMN_REQUIRE(finished(), "MST still running");
     std::vector<EdgeId> edges;
-    for (std::size_t i = 0; i < view_.links.size(); ++i) {
-      if (mst_link_[i]) edges.push_back(view_.links[i].edge);
+    const NeighborRange links = view_.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (mst_link_[i]) edges.push_back(links[i].edge);
     }
     return edges;
   }
@@ -65,7 +66,7 @@ class MstProcess::ComputeStage final : public SteppedProcess {
     }
     if (step == 1) {
       const sim::Packet init(kInitFrag, {init_index_});
-      for (const auto& link : view_.links) ctx.send(link.edge, init);
+      for (const auto& link : view_.links()) ctx.send(link.edge, init);
       if (!is_root()) {
         ctx.send(partition_->tree_parent_edge(), sim::Packet(kHello));
       }
@@ -176,14 +177,15 @@ class MstProcess::ComputeStage final : public SteppedProcess {
     // Own candidate: the lightest incident link leaving the *current*
     // fragment (links are weight-sorted, so the first hit is the minimum).
     const std::size_t mine = current_->find(static_cast<std::size_t>(init_index_));
-    for (std::size_t i = 0; i < view_.links.size(); ++i) {
+    const NeighborRange links = view_.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
       MMN_ASSERT(neighbor_init_[i] >= 0, "missing neighbor fragment census");
       if (current_->find(static_cast<std::size_t>(neighbor_init_[i])) == mine) {
         continue;
       }
-      report_weight_ = view_.links[i].weight;
+      report_weight_ = links[i].weight;
       report_u_ = view_.self;
-      report_v_ = view_.links[i].id;
+      report_v_ = links[i].to;
       report_nbr_init_ = neighbor_init_[i];
       break;
     }
@@ -228,8 +230,9 @@ class MstProcess::ComputeStage final : public SteppedProcess {
       current_->unite(c.from, c.to);
       if (c.u == view_.self || c.v == view_.self) {
         const NodeId other = c.u == view_.self ? c.v : c.u;
-        for (std::size_t i = 0; i < view_.links.size(); ++i) {
-          if (view_.links[i].id == other) mst_link_[i] = true;
+        const NeighborRange links = view_.links();
+        for (std::size_t i = 0; i < links.size(); ++i) {
+          if (links[i].to == other) mst_link_[i] = true;
         }
       }
     }

@@ -40,7 +40,7 @@ PartitionDetProcess::PartitionDetProcess(const sim::LocalView& view,
     : view_(view),
       core_(view.self),
       parent_(view.self),
-      link_internal_(view.links.size(), false) {
+      link_internal_(view.links().size(), false) {
   phases_ = config.phases < 0 ? partition_phases(view.n) : config.phases;
   // Levels grow by one per phase until a fragment spans the whole graph at
   // level floor(log2 n); phases beyond that would stall below their level.
@@ -386,12 +386,13 @@ void PartitionDetProcess::begin_mwoe(sim::NodeContext& ctx) {
 }
 
 void PartitionDetProcess::probe_next_link(sim::NodeContext& ctx) {
-  while (probe_index_ < view_.links.size()) {
+  const NeighborRange links = view_.links();
+  while (probe_index_ < links.size()) {
     if (link_internal_[probe_index_]) {
       ++probe_index_;
       continue;
     }
-    ctx.send(view_.links[probe_index_].edge,
+    ctx.send(links[probe_index_].edge,
              sim::Packet(kTest, {static_cast<sim::Word>(core_)}));
     return;
   }
@@ -476,14 +477,14 @@ void PartitionDetProcess::begin_merge(sim::NodeContext& ctx) {
     // The core itself owns the chosen edge: attach directly.
     MMN_ASSERT(gate_edge_ != kNoEdge, "gate edge missing at the core");
     const int idx = view_.link_index(gate_edge_);
-    parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+    parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
     parent_edge_ = gate_edge_;
     link_internal_[static_cast<std::size_t>(idx)] = true;
     ctx.send(gate_edge_, sim::Packet(kJoin));
   } else {
     const EdgeId down = best_child_edge_;
     const int idx = view_.link_index(down);
-    parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+    parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
     parent_edge_ = down;
     remove_child(down);
     ctx.send(down, sim::Packet(kFlip));
@@ -558,7 +559,7 @@ void PartitionDetProcess::on_message(std::uint64_t /*step*/,
       probe_resolved_ = true;
       cand_edge_ = msg.via;
       const int idx = view_.link_index(msg.via);
-      cand_weight_ = view_.links[static_cast<std::size_t>(idx)].weight;
+      cand_weight_ = view_.links()[static_cast<std::size_t>(idx)].weight;
       maybe_send_report(ctx);
       break;
     }
@@ -634,14 +635,14 @@ void PartitionDetProcess::on_message(std::uint64_t /*step*/,
       if (best_child_edge_ == kNoEdge) {
         MMN_ASSERT(gate_edge_ != kNoEdge, "flip reached a non-gate endpoint");
         const int idx = view_.link_index(gate_edge_);
-        parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+        parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
         parent_edge_ = gate_edge_;
         link_internal_[static_cast<std::size_t>(idx)] = true;
         ctx.send(gate_edge_, sim::Packet(kJoin));
       } else {
         const EdgeId down = best_child_edge_;
         const int idx = view_.link_index(down);
-        parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+        parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
         parent_edge_ = down;
         remove_child(down);
         ctx.send(down, sim::Packet(kFlip));

@@ -25,7 +25,7 @@ PartitionRandProcess::PartitionRandProcess(const sim::LocalView& view,
       anonymous_(config.anonymous),
       my_id_(view.self),
       parent_(view.self),
-      neighbor_root_(view.links.size(), kNoId) {
+      neighbor_root_(view.links().size(), kNoId) {
   MMN_REQUIRE(config.radius_factor >= config.freeze_factor,
               "growth radius must be at least the freeze threshold");
   const std::uint64_t basis = config.size_hint != 0 ? config.size_hint : view.n;
@@ -97,8 +97,9 @@ void PartitionRandProcess::forward_wave(sim::NodeContext& ctx) {
   if (wave_dist_ >= max_radius_) return;
   const sim::Packet grow(kGrowMsg, {static_cast<sim::Word>(wave_root_),
                                     static_cast<sim::Word>(wave_dist_)});
-  for (std::size_t i = 0; i < view_.links.size(); ++i) {
-    const EdgeId edge = view_.links[i].edge;
+  const NeighborRange links = view_.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const EdgeId edge = links[i].edge;
     if (edge == wave_parent_edge_) continue;  // the sender already has it
     // Paper's pruning: links internal to a tree but not tree links carry no
     // further waves.
@@ -141,12 +142,12 @@ void PartitionRandProcess::begin_commit(sim::NodeContext& ctx) {
     parent_edge_ = kNoEdge;
   } else {
     const int idx = view_.link_index(wave_parent_edge_);
-    parent_ = view_.links[static_cast<std::size_t>(idx)].id;
+    parent_ = view_.links()[static_cast<std::size_t>(idx)].to;
     parent_edge_ = wave_parent_edge_;
     ctx.send(parent_edge_, sim::Packet(kAttach));
   }
   const sim::Packet info(kRootInfo, {static_cast<sim::Word>(root_)});
-  for (const auto& link : view_.links) ctx.send(link.edge, info);
+  for (const auto& link : view_.links()) ctx.send(link.edge, info);
 }
 
 // --- FREEZE ------------------------------------------------------------------

@@ -27,7 +27,7 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g,
   while (!queue.empty()) {
     const NodeId v = queue.front();
     queue.pop();
-    for (const EdgeRef& e : g.neighbors(v)) {
+    for (const Neighbor& e : g.neighbors(v)) {
       if (dist[e.to] == kUnreachable) {
         dist[e.to] = dist[v] + 1;
         queue.push(e.to);
@@ -62,7 +62,7 @@ MstResult kruskal_mst(const Graph& g) {
   Dsu dsu(g.num_nodes());
   MstResult result;
   for (EdgeId e : order) {
-    const Edge& ed = g.edge(e);
+    const Edge ed = g.edge(e);
     if (dsu.unite(ed.u, ed.v)) {
       result.edges.push_back(e);
       result.total_weight += ed.weight;
@@ -83,8 +83,8 @@ MstResult prim_mst(const Graph& g) {
 
   auto add_node = [&](NodeId v) {
     in_tree[v] = true;
-    for (const EdgeRef& e : g.neighbors(v)) {
-      if (!in_tree[e.to]) frontier.emplace(e.weight, e.id);
+    for (const Neighbor& e : g.neighbors(v)) {
+      if (!in_tree[e.to]) frontier.emplace(e.weight, e.edge);
     }
   };
   add_node(0);
@@ -92,7 +92,7 @@ MstResult prim_mst(const Graph& g) {
     MMN_REQUIRE(!frontier.empty(), "prim_mst requires a connected graph");
     const auto [w, e] = frontier.top();
     frontier.pop();
-    const Edge& ed = g.edge(e);
+    const Edge ed = g.edge(e);
     const NodeId fresh = !in_tree[ed.u] ? ed.u : (!in_tree[ed.v] ? ed.v : kNoNode);
     if (fresh == kNoNode) continue;  // both endpoints already inside
     result.edges.push_back(e);

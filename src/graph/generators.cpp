@@ -1,7 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <cmath>
 #include <unordered_set>
 
 #include "support/check.hpp"
@@ -10,23 +10,15 @@
 namespace mmn {
 namespace {
 
-/// Assigns a random permutation of 1..edges.size() as weights.
-void assign_weights(std::vector<Edge>& edges, Rng& rng) {
-  std::vector<Weight> w(edges.size());
-  std::iota(w.begin(), w.end(), Weight{1});
-  for (std::size_t i = w.size(); i > 1; --i) {
-    std::swap(w[i - 1], w[rng.next_below(i)]);
-  }
-  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].weight = w[i];
-}
-
-Graph finish(NodeId n, std::vector<Edge> edges, Rng& rng) {
-  assign_weights(edges, rng);
-  return Graph(n, std::move(edges));
-}
-
 std::uint64_t pair_key(NodeId a, NodeId b) {
   return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+NodeId isqrt_floor(std::uint64_t x) {
+  auto r = static_cast<NodeId>(std::sqrt(static_cast<double>(x)));
+  while (static_cast<std::uint64_t>(r) * r > x) --r;
+  while (static_cast<std::uint64_t>(r + 1) * (r + 1) <= x) ++r;
+  return r;
 }
 
 }  // namespace
@@ -34,13 +26,11 @@ std::uint64_t pair_key(NodeId a, NodeId b) {
 Graph random_tree(NodeId n, std::uint64_t seed) {
   MMN_REQUIRE(n >= 1, "random_tree requires n >= 1");
   Rng rng(seed);
-  std::vector<Edge> edges;
-  edges.reserve(n - 1);
+  GraphBuilder b(n, n - 1);
   for (NodeId v = 1; v < n; ++v) {
-    const auto parent = static_cast<NodeId>(rng.next_below(v));
-    edges.push_back({parent, v, 0});
+    b.add_edge(static_cast<NodeId>(rng.next_below(v)), v);
   }
-  return finish(n, std::move(edges), rng);
+  return std::move(b).finish_permuted(rng);
 }
 
 Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed) {
@@ -49,100 +39,256 @@ Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed) 
       static_cast<std::uint64_t>(n) * (n - 1) / 2 - (n - 1);
   MMN_REQUIRE(extra_edges <= max_extra, "too many extra edges for simple graph");
   Rng rng(seed);
-  std::vector<Edge> edges;
-  edges.reserve(n - 1 + extra_edges);
+  GraphBuilder b(n, n - 1 + extra_edges);
   std::unordered_set<std::uint64_t> used;
   for (NodeId v = 1; v < n; ++v) {
     const auto parent = static_cast<NodeId>(rng.next_below(v));
-    edges.push_back({parent, v, 0});
+    b.add_edge(parent, v);
     used.insert(pair_key(parent, v));
   }
   std::uint32_t added = 0;
   while (added < extra_edges) {
     const auto a = static_cast<NodeId>(rng.next_below(n));
-    const auto b = static_cast<NodeId>(rng.next_below(n));
-    if (a == b) continue;
-    if (!used.insert(pair_key(a, b)).second) continue;
-    edges.push_back({a, b, 0});
+    const auto c = static_cast<NodeId>(rng.next_below(n));
+    if (a == c) continue;
+    if (!used.insert(pair_key(a, c)).second) continue;
+    b.add_edge(a, c);
     ++added;
   }
-  return finish(n, std::move(edges), rng);
+  return std::move(b).finish_permuted(rng);
 }
 
 Graph grid(NodeId rows, NodeId cols, std::uint64_t seed) {
   MMN_REQUIRE(rows >= 1 && cols >= 1, "grid requires positive dimensions");
   Rng rng(seed);
   const NodeId n = rows * cols;
-  std::vector<Edge> edges;
+  GraphBuilder b(n, static_cast<std::size_t>(rows) * (cols - 1) +
+                        static_cast<std::size_t>(rows - 1) * cols);
   auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
-      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 0});
-      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 0});
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
     }
   }
-  return finish(n, std::move(edges), rng);
+  return std::move(b).finish_permuted(rng);
 }
 
 Graph ring(NodeId n, std::uint64_t seed) {
   MMN_REQUIRE(n >= 3, "ring requires n >= 3");
   Rng rng(seed);
-  std::vector<Edge> edges;
-  edges.reserve(n);
-  for (NodeId v = 0; v < n; ++v) edges.push_back({v, static_cast<NodeId>((v + 1) % n), 0});
-  return finish(n, std::move(edges), rng);
+  GraphBuilder b(n, n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return std::move(b).finish_permuted(rng);
 }
 
 Graph path(NodeId n, std::uint64_t seed) {
   MMN_REQUIRE(n >= 1, "path requires n >= 1");
   Rng rng(seed);
-  std::vector<Edge> edges;
-  edges.reserve(n - 1);
-  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<NodeId>(v + 1), 0});
-  return finish(n, std::move(edges), rng);
+  GraphBuilder b(n, n - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    b.add_edge(v, static_cast<NodeId>(v + 1));
+  }
+  return std::move(b).finish_permuted(rng);
 }
 
 Graph complete(NodeId n, std::uint64_t seed) {
   MMN_REQUIRE(n >= 2, "complete requires n >= 2");
   Rng rng(seed);
-  std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  GraphBuilder b(n, static_cast<std::size_t>(n) * (n - 1) / 2);
   for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v, 0});
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
   }
-  return finish(n, std::move(edges), rng);
+  return std::move(b).finish_permuted(rng);
 }
 
 Graph hypercube(int dim, std::uint64_t seed) {
   MMN_REQUIRE(dim >= 1 && dim <= 20, "hypercube dimension must be in [1, 20]");
   Rng rng(seed);
   const NodeId n = NodeId{1} << dim;
-  std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  GraphBuilder b(n, static_cast<std::size_t>(n) * dim / 2);
   for (NodeId v = 0; v < n; ++v) {
-    for (int b = 0; b < dim; ++b) {
-      const NodeId u = v ^ (NodeId{1} << b);
-      if (v < u) edges.push_back({v, u, 0});
+    for (int bit = 0; bit < dim; ++bit) {
+      const NodeId u = v ^ (NodeId{1} << bit);
+      if (v < u) b.add_edge(v, u);
     }
   }
-  return finish(n, std::move(edges), rng);
+  return std::move(b).finish_permuted(rng);
 }
 
 Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed) {
   MMN_REQUIRE(rays >= 1 && ray_len >= 1, "ray_graph requires rays, ray_len >= 1");
   Rng rng(seed);
   const NodeId n = 1 + rays * ray_len;
-  std::vector<Edge> edges;
-  edges.reserve(n - 1);
+  GraphBuilder b(n, n - 1);
   NodeId next = 1;
   for (NodeId r = 0; r < rays; ++r) {
     NodeId prev = 0;  // the center
     for (NodeId k = 0; k < ray_len; ++k) {
-      edges.push_back({prev, next, 0});
+      b.add_edge(prev, next);
       prev = next++;
     }
   }
-  return finish(n, std::move(edges), rng);
+  return std::move(b).finish_permuted(rng);
+}
+
+// ---- TopologySpec ----------------------------------------------------------
+
+const char* topology_name(TopoKind kind) {
+  switch (kind) {
+    case TopoKind::kRandom:
+      return "random";
+    case TopoKind::kTree:
+      return "tree";
+    case TopoKind::kGrid:
+      return "grid";
+    case TopoKind::kRing:
+      return "ring";
+    case TopoKind::kPath:
+      return "path";
+    case TopoKind::kComplete:
+      return "complete";
+    case TopoKind::kHypercube:
+      return "hypercube";
+    case TopoKind::kRay:
+      return "ray";
+    case TopoKind::kCliqueImplicit:
+      return "iclique";
+    case TopoKind::kRingImplicit:
+      return "iring";
+    case TopoKind::kGridImplicit:
+      return "igrid";
+    case TopoKind::kHypercubeImplicit:
+      return "icube";
+  }
+  return "?";
+}
+
+NodeId ray_count_for(NodeId n) {
+  MMN_REQUIRE(n >= 2, "ray topology requires n >= 2");
+  const NodeId total = n - 1;
+  NodeId best = 1;
+  for (NodeId d = 1; static_cast<std::uint64_t>(d) * d <= total; ++d) {
+    if (total % d == 0) best = d;
+  }
+  return best;
+}
+
+bool topology_valid_n(TopoKind kind, NodeId n) {
+  switch (kind) {
+    case TopoKind::kRandom:
+    case TopoKind::kTree:
+    case TopoKind::kPath:
+      return n >= 1;
+    case TopoKind::kGrid:
+    case TopoKind::kGridImplicit: {
+      if (n < 4) return false;
+      const NodeId s = isqrt_floor(n);
+      return static_cast<std::uint64_t>(s) * s == n;
+    }
+    case TopoKind::kRing:
+    case TopoKind::kRingImplicit:
+      return n >= 3;
+    case TopoKind::kComplete:
+      return n >= 2;
+    case TopoKind::kCliqueImplicit:
+      // m = n(n-1)/2 must fit the 32-bit edge-id/weight space.
+      return n >= 2 && static_cast<std::uint64_t>(n) * (n - 1) / 2 <=
+                           0xFFFFFFFFull;
+    case TopoKind::kHypercube:
+    case TopoKind::kHypercubeImplicit:
+      return n >= 2 && n <= (NodeId{1} << 20) && (n & (n - 1)) == 0;
+    case TopoKind::kRay:
+      return n >= 2;
+  }
+  return false;
+}
+
+NodeId topology_round_n(TopoKind kind, NodeId n) {
+  switch (kind) {
+    case TopoKind::kRandom:
+    case TopoKind::kTree:
+    case TopoKind::kPath:
+      return std::max<NodeId>(1, n);
+    case TopoKind::kGrid:
+    case TopoKind::kGridImplicit: {
+      const auto side = static_cast<NodeId>(std::max(
+          2.0, std::round(std::sqrt(static_cast<double>(n)))));
+      return side * side;
+    }
+    case TopoKind::kRing:
+    case TopoKind::kRingImplicit:
+      return std::max<NodeId>(3, n);
+    case TopoKind::kComplete:
+      return std::max<NodeId>(2, n);
+    case TopoKind::kCliqueImplicit:
+      // Largest n with n(n-1)/2 <= 2^32 - 1 (the 32-bit edge-id space).
+      return std::min<NodeId>(std::max<NodeId>(2, n), 92682);
+    case TopoKind::kHypercube:
+    case TopoKind::kHypercubeImplicit: {
+      std::uint32_t dim = 1;
+      while (dim < 20 && (NodeId{1} << (dim + 1)) <= std::max<NodeId>(2, n)) {
+        ++dim;
+      }
+      return NodeId{1} << dim;
+    }
+    case TopoKind::kRay:
+      return std::max<NodeId>(2, n);
+  }
+  return n;
+}
+
+Graph build_topology(const TopologySpec& spec) {
+  MMN_REQUIRE(topology_valid_n(spec.kind, spec.n),
+              "topology kind does not admit this n (round it first)");
+  const NodeId n = spec.n;
+  switch (spec.kind) {
+    case TopoKind::kRandom: {
+      const std::uint64_t max_extra =
+          static_cast<std::uint64_t>(n) * (n - 1) / 2 - (n - 1);
+      const auto extra = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(2ull * n, max_extra));
+      return random_connected(n, extra, spec.seed);
+    }
+    case TopoKind::kTree:
+      return random_tree(n, spec.seed);
+    case TopoKind::kGrid: {
+      const NodeId side = isqrt_floor(n);
+      return grid(side, side, spec.seed);
+    }
+    case TopoKind::kRing:
+      return ring(n, spec.seed);
+    case TopoKind::kPath:
+      return path(n, spec.seed);
+    case TopoKind::kComplete:
+      return complete(n, spec.seed);
+    case TopoKind::kHypercube: {
+      int dim = 0;
+      while ((NodeId{1} << dim) < n) ++dim;
+      return hypercube(dim, spec.seed);
+    }
+    case TopoKind::kRay: {
+      const NodeId rays = ray_count_for(n);
+      return ray_graph(rays, (n - 1) / rays, spec.seed);
+    }
+    case TopoKind::kCliqueImplicit:
+      return Graph::implicit_complete(n);
+    case TopoKind::kRingImplicit:
+      return Graph::implicit_ring(n);
+    case TopoKind::kGridImplicit: {
+      const NodeId side = isqrt_floor(n);
+      return Graph::implicit_grid(side, side);
+    }
+    case TopoKind::kHypercubeImplicit: {
+      int dim = 0;
+      while ((NodeId{1} << dim) < n) ++dim;
+      return Graph::implicit_hypercube(dim);
+    }
+  }
+  MMN_ASSERT(false, "unknown topology kind");
+  return random_tree(1, 0);  // unreachable
 }
 
 }  // namespace mmn

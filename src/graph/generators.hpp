@@ -1,10 +1,25 @@
-// Topology generators.
+// Topology generators and the TopologySpec every size-parameterized layer
+// consumes.
 //
-// All generators produce connected graphs with distinct pseudo-random link
-// weights (a random permutation of 1..m), deterministically from a seed.
-// The ray graph is the topology of the paper's multimedia lower bound
-// (Theorem 2): a center from which vertex-disjoint paths ("rays") of length
-// d/2 emanate, giving diameter d.
+// All explicit generators produce connected graphs with distinct
+// pseudo-random link weights (a random permutation of 1..m),
+// deterministically from a seed, streamed straight into the CSR arena via
+// GraphBuilder (no intermediate edge list).  The ray graph is the topology
+// of the paper's multimedia lower bound (Theorem 2): a center from which
+// vertex-disjoint paths ("rays") of length d/2 emanate, giving diameter d.
+//
+// The dense families additionally come as implicit O(1)-storage variants
+// (Graph::implicit_*) with the canonical weight labelling w(e) = e + 1 —
+// use those for n where materializing ~n^2 clique rows is not an option.
+//
+// TopologySpec {kind, n, seed} names a topology at a size: the scenario
+// registry, the sweep drivers, and the benches all build graphs through
+// build_topology() so every workload is size-parameterized from one spec.
+// Families with structural constraints (grids, hypercubes) only admit some
+// n; topology_valid_n answers exactly, topology_round_n maps a nominal size
+// to the nearest supported one (what the registry's default sweeps use).
+// Callers that must not silently clamp (scenario_sweep --n) check
+// topology_valid_n and refuse.
 #pragma once
 
 #include <cstdint>
@@ -38,5 +53,48 @@ Graph hypercube(int dim, std::uint64_t seed);
 /// Ray graph: one center with `rays` vertex-disjoint paths of `ray_len` nodes
 /// each; n = 1 + rays * ray_len, diameter = 2 * ray_len.
 Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed);
+
+// ---- size-parameterized topology specs -------------------------------------
+
+enum class TopoKind : std::uint8_t {
+  kRandom,     ///< random_connected(n, ~2n chords)
+  kTree,       ///< random_tree(n)
+  kGrid,       ///< square grid, n = side^2
+  kRing,       ///< cycle
+  kPath,       ///< path
+  kComplete,   ///< explicit clique
+  kHypercube,  ///< n = 2^dim
+  kRay,        ///< Theorem 2 lower-bound rays: n = 1 + rays * ray_len
+  kCliqueImplicit,     ///< Graph::implicit_complete (O(1) storage)
+  kRingImplicit,       ///< Graph::implicit_ring
+  kGridImplicit,       ///< Graph::implicit_grid, square
+  kHypercubeImplicit,  ///< Graph::implicit_hypercube
+};
+
+/// A topology at a size: everything a layer needs to build the graph.
+struct TopologySpec {
+  TopoKind kind = TopoKind::kRandom;
+  NodeId n = 0;
+  std::uint64_t seed = 7;
+};
+
+const char* topology_name(TopoKind kind);
+
+/// True if the family admits exactly n nodes.
+bool topology_valid_n(TopoKind kind, NodeId n);
+
+/// The supported size nearest to the nominal n (grids round to the nearest
+/// square, hypercubes to the largest power of two <= n, ...).  The result
+/// always satisfies topology_valid_n.
+NodeId topology_round_n(TopoKind kind, NodeId n);
+
+/// Builds the graph for a spec.  Requires topology_valid_n(kind, n); callers
+/// holding a nominal size round it first (or refuse, for strict CLIs).
+Graph build_topology(const TopologySpec& spec);
+
+/// The ray decomposition build_topology uses for n nodes: rays = the largest
+/// divisor of n - 1 that is <= sqrt(n - 1) (so ray_len >= rays and the
+/// diameter is ~2 sqrt(n)).  Exposed for tests and benches.
+NodeId ray_count_for(NodeId n);
 
 }  // namespace mmn

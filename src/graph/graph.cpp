@@ -1,65 +1,397 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_set>
 
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace mmn {
+namespace {
 
-Graph::Graph(NodeId n, std::vector<Edge> edges)
-    : n_(n), edges_(std::move(edges)) {
+constexpr std::uint64_t kMaxWeight32 = 0xFFFFFFFFull;
+
+/// Largest a with pairs_before(a) <= id, where pairs_before(a) counts the
+/// clique edges whose smaller endpoint is < a.
+std::uint64_t clique_pairs_before(std::uint64_t a, std::uint64_t n) {
+  return a * (n - 1) - a * (a - 1) / 2;
+}
+
+/// Drops bit b from v: the rank of v among the hypercube nodes whose bit b
+/// is clear.
+std::uint32_t squeeze_bit(std::uint32_t v, std::uint32_t b) {
+  const std::uint32_t low = v & ((std::uint32_t{1} << b) - 1);
+  return low | ((v >> (b + 1)) << b);
+}
+
+std::uint32_t unsqueeze_bit(std::uint32_t k, std::uint32_t b) {
+  const std::uint32_t low = k & ((std::uint32_t{1} << b) - 1);
+  return low | ((k >> b) << (b + 1));
+}
+
+}  // namespace
+
+// ---- GraphBuilder ----------------------------------------------------------
+
+GraphBuilder::GraphBuilder(NodeId n, std::size_t expected_edges) : n_(n) {
   MMN_REQUIRE(n >= 1, "graph needs at least one node");
+  eu_.reserve(expected_edges);
+  ev_.reserve(expected_edges);
+}
+
+EdgeId GraphBuilder::add_edge(NodeId u, NodeId v) {
+  MMN_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  MMN_REQUIRE(u != v, "self loops are not allowed");
+  eu_.push_back(u);
+  ev_.push_back(v);
+  return static_cast<EdgeId>(eu_.size() - 1);
+}
+
+Graph GraphBuilder::finish_permuted(Rng& rng) && {
+  // The weight permutation of the retired assign_weights helper, drawn in
+  // the identical rng order so every seeded topology is bit-identical to
+  // the pre-CSR build (golden digests pin this).
+  std::vector<Weight> w(eu_.size());
+  std::iota(w.begin(), w.end(), Weight{1});
+  for (std::size_t i = w.size(); i > 1; --i) {
+    std::swap(w[i - 1], w[rng.next_below(i)]);
+  }
+  return std::move(*this).finish_with_weights(w);
+}
+
+Graph GraphBuilder::finish_with_weights(const std::vector<Weight>& weights) && {
+  MMN_REQUIRE(weights.size() == eu_.size(),
+              "one weight per edge required");
+  const auto m = static_cast<EdgeId>(eu_.size());
+  Graph g;
+  g.kind_ = Graph::Kind::kExplicit;
+  g.n_ = n_;
+  g.m_ = m;
+
+  // Degree count -> offsets -> scatter, then one weight sort per row.
+  std::vector<std::uint32_t> cursor(n_, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    ++cursor[eu_[e]];
+    ++cursor[ev_[e]];
+  }
+  g.adj_offset_.assign(n_ + 1, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    g.adj_offset_[v + 1] = g.adj_offset_[v] + cursor[v];
+    cursor[v] = g.adj_offset_[v];
+  }
+  g.adj_.resize(g.adj_offset_[n_]);
+  for (EdgeId e = 0; e < m; ++e) {
+    MMN_REQUIRE(weights[e] >= 1 && weights[e] <= kMaxWeight32,
+                "link weights must fit 32 bits (1..2^32-1)");
+    const auto w = static_cast<std::uint32_t>(weights[e]);
+    g.adj_[cursor[eu_[e]]++] = Neighbor{ev_[e], e, w};
+    g.adj_[cursor[ev_[e]]++] = Neighbor{eu_[e], e, w};
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    std::sort(g.adj_.begin() + g.adj_offset_[v],
+              g.adj_.begin() + g.adj_offset_[v + 1],
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.weight < b.weight;
+              });
+  }
+  // The shared edge slab: each edge's slot in its first-emitted endpoint's
+  // (now weight-sorted) row.
+  g.edge_pos_.resize(m);
+  for (NodeId v = 0; v < n_; ++v) {
+    for (std::uint32_t p = g.adj_offset_[v]; p < g.adj_offset_[v + 1]; ++p) {
+      const EdgeId e = g.adj_[p].edge;
+      if (eu_[e] == v) g.edge_pos_[e] = p;
+    }
+  }
+  return g;
+}
+
+// ---- Graph: explicit construction ------------------------------------------
+
+Graph::Graph(NodeId n, std::vector<Edge> edges) {
+  GraphBuilder builder(n, edges.size());
   std::unordered_set<Weight> weights;
   std::unordered_set<std::uint64_t> endpoint_pairs;
-  weights.reserve(edges_.size());
-  endpoint_pairs.reserve(edges_.size());
-  for (const Edge& e : edges_) {
-    MMN_REQUIRE(e.u < n_ && e.v < n_, "edge endpoint out of range");
-    MMN_REQUIRE(e.u != e.v, "self loops are not allowed");
-    MMN_REQUIRE(weights.insert(e.weight).second, "link weights must be distinct");
+  weights.reserve(edges.size());
+  endpoint_pairs.reserve(edges.size());
+  std::vector<Weight> w;
+  w.reserve(edges.size());
+  for (const Edge& e : edges) {
+    MMN_REQUIRE(e.weight >= 1 && e.weight <= kMaxWeight32,
+                "link weights must fit 32 bits (1..2^32-1)");
+    MMN_REQUIRE(weights.insert(e.weight).second,
+                "link weights must be distinct");
+    builder.add_edge(e.u, e.v);  // checks range and self loops
     const std::uint64_t key =
         (static_cast<std::uint64_t>(std::min(e.u, e.v)) << 32) |
         std::max(e.u, e.v);
     MMN_REQUIRE(endpoint_pairs.insert(key).second,
                 "parallel edges are not allowed");
+    w.push_back(e.weight);
   }
-
-  std::vector<std::uint32_t> deg(n_ + 1, 0);
-  for (const Edge& e : edges_) {
-    ++deg[e.u + 1];
-    ++deg[e.v + 1];
-  }
-  adj_offset_.assign(n_ + 1, 0);
-  for (NodeId v = 0; v < n_; ++v) adj_offset_[v + 1] = adj_offset_[v] + deg[v + 1];
-  adj_.resize(adj_offset_[n_]);
-
-  std::vector<std::uint32_t> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
-  for (EdgeId id = 0; id < edges_.size(); ++id) {
-    const Edge& e = edges_[id];
-    adj_[cursor[e.u]++] = EdgeRef{e.v, id, e.weight};
-    adj_[cursor[e.v]++] = EdgeRef{e.u, id, e.weight};
-  }
-  for (NodeId v = 0; v < n_; ++v) {
-    std::sort(adj_.begin() + adj_offset_[v], adj_.begin() + adj_offset_[v + 1],
-              [](const EdgeRef& a, const EdgeRef& b) { return a.weight < b.weight; });
-  }
+  *this = std::move(builder).finish_with_weights(w);
 }
 
-const Edge& Graph::edge(EdgeId e) const {
-  MMN_REQUIRE(e < edges_.size(), "edge id out of range");
-  return edges_[e];
+// ---- Graph: implicit dense variants ----------------------------------------
+
+Graph Graph::implicit_complete(NodeId n) {
+  MMN_REQUIRE(n >= 2, "complete requires n >= 2");
+  const std::uint64_t m = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  MMN_REQUIRE(m <= kMaxWeight32, "implicit clique needs m <= 2^32 - 1 (n <= 92682)");
+  Graph g;
+  g.kind_ = Kind::kComplete;
+  g.n_ = n;
+  g.m_ = static_cast<EdgeId>(m);
+  return g;
 }
 
-std::span<const EdgeRef> Graph::neighbors(NodeId v) const {
+Graph Graph::implicit_ring(NodeId n) {
+  MMN_REQUIRE(n >= 3, "ring requires n >= 3");
+  Graph g;
+  g.kind_ = Kind::kRing;
+  g.n_ = n;
+  g.m_ = n;
+  return g;
+}
+
+Graph Graph::implicit_grid(NodeId rows, NodeId cols) {
+  MMN_REQUIRE(rows >= 1 && cols >= 1, "grid requires positive dimensions");
+  const std::uint64_t n = static_cast<std::uint64_t>(rows) * cols;
+  MMN_REQUIRE(n >= 2 && n <= kMaxWeight32, "grid size out of range");
+  Graph g;
+  g.kind_ = Kind::kGrid;
+  g.n_ = static_cast<NodeId>(n);
+  g.rows_ = rows;
+  g.cols_ = cols;
+  g.m_ = static_cast<EdgeId>(static_cast<std::uint64_t>(rows) * (cols - 1) +
+                             static_cast<std::uint64_t>(rows - 1) * cols);
+  return g;
+}
+
+Graph Graph::implicit_hypercube(int dim) {
+  MMN_REQUIRE(dim >= 1 && dim <= 20, "hypercube dimension must be in [1, 20]");
+  Graph g;
+  g.kind_ = Kind::kHypercube;
+  g.n_ = NodeId{1} << dim;
+  g.dim_ = static_cast<std::uint32_t>(dim);
+  g.m_ = static_cast<EdgeId>((static_cast<std::uint64_t>(g.n_) * dim) / 2);
+  return g;
+}
+
+// ---- Graph: accessors ------------------------------------------------------
+
+std::uint32_t Graph::degree(NodeId v) const {
   MMN_REQUIRE(v < n_, "node id out of range");
-  return {adj_.data() + adj_offset_[v], adj_.data() + adj_offset_[v + 1]};
+  switch (kind_) {
+    case Kind::kExplicit:
+      return adj_offset_[v + 1] - adj_offset_[v];
+    case Kind::kComplete:
+      return n_ - 1;
+    case Kind::kRing:
+      return 2;
+    case Kind::kGrid: {
+      const std::uint32_t r = v / cols_;
+      const std::uint32_t c = v % cols_;
+      return (c > 0) + (c + 1 < cols_) + (r > 0) + (r + 1 < rows_);
+    }
+    case Kind::kHypercube:
+      return dim_;
+  }
+  return 0;  // unreachable
+}
+
+NeighborRange Graph::neighbors(NodeId v) const {
+  MMN_REQUIRE(v < n_, "node id out of range");
+  if (kind_ == Kind::kExplicit) {
+    return NeighborRange(adj_.data() + adj_offset_[v],
+                         adj_offset_[v + 1] - adj_offset_[v]);
+  }
+  return NeighborRange(this, v, degree(v));
+}
+
+/// The implicit families enumerate each node's links in ascending canonical
+/// edge id, and weight(e) = e + 1, so ascending enumeration IS ascending
+/// weight — the invariant every protocol relies on, at O(1) per entry.
+Neighbor Graph::implicit_entry(NodeId v, std::uint32_t i) const {
+  switch (kind_) {
+    case Kind::kComplete: {
+      // Entry i of v is neighbor `to` in ascending id (skip v itself);
+      // weights order pairs by (min, max), which per node is exactly
+      // ascending neighbor id.
+      const NodeId to = i < v ? i : i + 1;
+      const std::uint64_t a = std::min(v, to);
+      const std::uint64_t b = std::max(v, to);
+      const auto e = static_cast<EdgeId>(clique_pairs_before(a, n_) + b - a - 1);
+      return Neighbor{to, e, e + 1};
+    }
+    case Kind::kRing: {
+      // Edge v joins v and v+1 (edge n-1 closes the ring); each node's two
+      // incident edge ids are ascending in this enumeration.
+      if (v == 0) {
+        return i == 0 ? Neighbor{1, 0, 1}
+                      : Neighbor{n_ - 1, n_ - 1, n_};
+      }
+      if (i == 0) return Neighbor{v - 1, v - 1, v};
+      const NodeId to = v + 1 == n_ ? 0 : v + 1;
+      return Neighbor{to, v, v + 1};
+    }
+    case Kind::kGrid: {
+      // Horizontal edges first (id = r*(cols-1) + c for (r,c)-(r,c+1)),
+      // then vertical (id = H + r*cols + c for (r,c)-(r+1,c)); per node the
+      // order left, right, up, down is ascending id.
+      const std::uint32_t r = v / cols_;
+      const std::uint32_t c = v % cols_;
+      const std::uint32_t h = rows_ * (cols_ - 1);
+      std::uint32_t k = i;
+      if (c > 0 && k-- == 0) {
+        const EdgeId e = r * (cols_ - 1) + (c - 1);
+        return Neighbor{v - 1, e, e + 1};
+      }
+      if (c + 1 < cols_ && k-- == 0) {
+        const EdgeId e = r * (cols_ - 1) + c;
+        return Neighbor{v + 1, e, e + 1};
+      }
+      if (r > 0 && k-- == 0) {
+        const EdgeId e = h + (r - 1) * cols_ + c;
+        return Neighbor{v - cols_, e, e + 1};
+      }
+      const EdgeId e = h + r * cols_ + c;
+      return Neighbor{v + cols_, e, e + 1};
+    }
+    case Kind::kHypercube: {
+      // Edge (u, u | bit b) has id b*(n/2) + rank of u among clear-bit-b
+      // nodes; per node ascending bit index is ascending id.
+      const auto b = static_cast<std::uint32_t>(i);
+      const NodeId to = v ^ (NodeId{1} << b);
+      const NodeId u = std::min(v, to);
+      const EdgeId e = b * (n_ / 2) + squeeze_bit(u, b);
+      return Neighbor{to, e, e + 1};
+    }
+    case Kind::kExplicit:
+      break;
+  }
+  MMN_ASSERT(false, "implicit_entry on an explicit graph");
+  return Neighbor{};
+}
+
+Edge Graph::edge(EdgeId e) const {
+  MMN_REQUIRE(e < m_, "edge id out of range");
+  switch (kind_) {
+    case Kind::kExplicit: {
+      const std::uint32_t p = edge_pos_[e];
+      // The owning row: the unique v with adj_offset_[v] <= p.
+      const auto it = std::upper_bound(adj_offset_.begin(), adj_offset_.end(),
+                                       p);
+      const auto u = static_cast<NodeId>(it - adj_offset_.begin() - 1);
+      return Edge{u, adj_[p].to, adj_[p].weight};
+    }
+    case Kind::kComplete: {
+      // Invert the triangular pair index by binary search on the row start.
+      std::uint64_t lo = 0, hi = n_ - 1;
+      while (lo + 1 < hi) {
+        const std::uint64_t mid = (lo + hi) / 2;
+        if (clique_pairs_before(mid, n_) <= e) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      const auto a = static_cast<NodeId>(lo);
+      const auto b =
+          static_cast<NodeId>(a + 1 + (e - clique_pairs_before(a, n_)));
+      return Edge{a, b, static_cast<Weight>(e) + 1};
+    }
+    case Kind::kRing:
+      return Edge{e, e + 1 == n_ ? 0 : e + 1, static_cast<Weight>(e) + 1};
+    case Kind::kGrid: {
+      const std::uint32_t h = rows_ * (cols_ - 1);
+      if (e < h) {
+        const std::uint32_t r = e / (cols_ - 1);
+        const std::uint32_t c = e % (cols_ - 1);
+        const NodeId u = r * cols_ + c;
+        return Edge{u, u + 1, static_cast<Weight>(e) + 1};
+      }
+      const std::uint32_t k = e - h;
+      const NodeId u = (k / cols_) * cols_ + k % cols_;
+      return Edge{u, u + cols_, static_cast<Weight>(e) + 1};
+    }
+    case Kind::kHypercube: {
+      const std::uint32_t b = e / (n_ / 2);
+      const NodeId u = unsqueeze_bit(e % (n_ / 2), b);
+      return Edge{u, u | (NodeId{1} << b), static_cast<Weight>(e) + 1};
+    }
+  }
+  return Edge{};  // unreachable
+}
+
+int Graph::link_slot(NodeId v, EdgeId e) const {
+  if (v >= n_ || e >= m_) return -1;
+  if (kind_ == Kind::kExplicit) {
+    const std::uint32_t p = edge_pos_[e];
+    const std::uint32_t first = adj_offset_[v];
+    const std::uint32_t last = adj_offset_[v + 1];
+    if (p >= first && p < last) return static_cast<int>(p - first);
+    // v must be the non-canonical endpoint; its row holds the twin entry at
+    // the same (distinct) weight — one binary search by weight finds it.
+    if (adj_[p].to != v) return -1;
+    const std::uint32_t w = adj_[p].weight;
+    const Neighbor* row = adj_.data();
+    std::uint32_t lo = first, hi = last;
+    while (lo < hi) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      if (row[mid].weight < w) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    MMN_DCHECK(lo < last && row[lo].edge == e,
+               "edge slab and adjacency rows out of sync");
+    return static_cast<int>(lo - first);
+  }
+  const Edge ed = edge(e);
+  if (ed.u != v && ed.v != v) return -1;
+  const NodeId to = ed.u == v ? ed.v : ed.u;
+  switch (kind_) {
+    case Kind::kComplete:
+      return static_cast<int>(to < v ? to : to - 1);
+    case Kind::kRing:
+      if (v == 0) return e == 0 ? 0 : 1;
+      return e == v ? 1 : 0;
+    case Kind::kGrid: {
+      // Disambiguate by edge orientation, not endpoint arithmetic: with
+      // cols == 1 the down neighbor is v + 1 and would alias "right".
+      const std::uint32_t r = v / cols_;
+      const std::uint32_t c = v % cols_;
+      const bool horizontal = e < rows_ * (cols_ - 1);
+      int slot = 0;
+      if (horizontal && to + 1 == v) return slot;  // left
+      slot += c > 0;
+      if (horizontal) return slot;  // right
+      slot += c + 1 < cols_;
+      if (to + cols_ == v) return slot;  // up
+      slot += r > 0;
+      return slot;  // down
+    }
+    case Kind::kHypercube:
+      return static_cast<int>(e / (n_ / 2));
+    case Kind::kExplicit:
+      break;
+  }
+  return -1;  // unreachable
 }
 
 NodeId Graph::other_endpoint(EdgeId e, NodeId from) const {
-  const Edge& ed = edge(e);
+  const Edge ed = edge(e);
   MMN_REQUIRE(ed.u == from || ed.v == from, "node is not an endpoint of edge");
   return ed.u == from ? ed.v : ed.u;
+}
+
+std::size_t Graph::topology_bytes() const {
+  return sizeof(Graph) + adj_offset_.capacity() * sizeof(std::uint32_t) +
+         adj_.capacity() * sizeof(Neighbor) +
+         edge_pos_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace mmn

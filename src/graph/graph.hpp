@@ -1,17 +1,42 @@
-// Immutable weighted undirected graph.
+// Immutable weighted undirected graph — the one CSR topology substrate.
 //
-// This is the topology substrate for the point-to-point half of a multimedia
+// This is the topology layer for the point-to-point half of a multimedia
 // network (Section 2 of the paper): n nodes, m bidirectional links, distinct
-// link weights.  Adjacency lists are stored sorted by ascending weight because
-// the partitioning and MST algorithms scan a node's links in weight order
-// ("scanning its ordered list of links", Section 3, Step 2).
+// link weights.  Adjacency is stored exactly once, as a weight-sorted CSR
+// arena: `adj_offset_` (n + 1 offsets) over packed `Neighbor{to, edge,
+// weight}` rows, sorted per node by ascending weight because the partitioning
+// and MST algorithms scan a node's links in weight order ("scanning its
+// ordered list of links", Section 3, Step 2).  Every layer above shares this
+// arena: `Graph::neighbors` returns a view into it and `sim::LocalView` is a
+// non-owning window over the same rows — there is no second edge list, no
+// per-node adjacency copy, and no per-node edge index (see
+// ARCHITECTURE.md, "Topology substrate").
+//
+// Edge identity is positional: edge e's canonical adjacency position (the
+// slot in its first-emitted endpoint's row) lives in the shared
+// `edge_pos_` slab, one uint32 per edge.  That one slab serves both
+// directions of lookup:
+//   * edge(e)        — endpoints + weight recovered from the row entry
+//                      (O(log n) to find the owning row);
+//   * link_slot(v,e) — a node's weight-ordered slot for an incident edge:
+//                      O(1) when v is the canonical endpoint, otherwise one
+//                      binary search of v's row by the edge's weight.
+//
+// Dense topologies (complete graphs, rings, square grids, hypercubes) also
+// come as *implicit* variants with O(1) storage: `neighbors(v)` computes the
+// weight-sorted row on the fly behind the same `NeighborRange` interface, so
+// a 16k-node clique costs bytes, not the ~n^2 rows an explicit build needs.
+// Implicit weights are the canonical labelling weight(e) = e + 1 (distinct
+// by construction, deterministic, seed-independent) chosen so that every
+// node's ascending-weight order is computable in O(1) per entry.
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 namespace mmn {
+
+class Rng;
 
 using NodeId = std::uint32_t;
 using EdgeId = std::uint32_t;
@@ -27,39 +52,196 @@ struct Edge {
   Weight weight = 0;
 };
 
-/// One entry of a node's adjacency list.
-struct EdgeRef {
+/// One packed row of the adjacency arena: the node on the other end of one
+/// incident link, the link's edge id, and its weight.  This is the ONE
+/// adjacency record of the codebase — `Graph::neighbors`, `sim::LocalView`
+/// and every protocol walk the same 12-byte rows.  The weight rides as
+/// uint32 (weights are a permutation of 1..m and m is a 32-bit edge count);
+/// the public `Edge`/`Weight` API stays 64-bit.
+struct Neighbor {
   NodeId to = kNoNode;
-  EdgeId id = kNoEdge;
-  Weight weight = 0;
+  EdgeId edge = kNoEdge;
+  std::uint32_t weight = 0;
+};
+static_assert(sizeof(Neighbor) == 12, "adjacency rows must stay packed");
+
+class Graph;
+
+/// A node's weight-sorted adjacency row behind one interface for both
+/// storage schemes: a zero-copy window into the CSR arena (explicit graphs)
+/// or an O(1) generator of the same rows (implicit dense topologies).
+/// Value-semantic and 24 bytes — build one per access, don't store it.
+class NeighborRange {
+ public:
+  class iterator {
+   public:
+    using value_type = Neighbor;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const NeighborRange* r, std::uint32_t i) : r_(r), i_(i) {}
+
+    Neighbor operator*() const { return (*r_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const NeighborRange* r_ = nullptr;
+    std::uint32_t i_ = 0;
+  };
+
+  NeighborRange() = default;
+
+  std::uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Neighbor operator[](std::uint32_t i) const;
+  Neighbor operator[](std::size_t i) const {
+    return (*this)[static_cast<std::uint32_t>(i)];
+  }
+  Neighbor operator[](int i) const {
+    return (*this)[static_cast<std::uint32_t>(i)];
+  }
+  Neighbor front() const { return (*this)[0u]; }
+
+  /// Iterators reference the range object; keep the range alive for the
+  /// duration of the loop (range-for over `g.neighbors(v)` does).
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, size_); }
+
+  /// The arena rows this range windows, or nullptr for an implicit
+  /// (computed) range.  Exists so tests can pin the zero-copy property.
+  const Neighbor* data() const { return data_; }
+
+ private:
+  friend class Graph;
+  NeighborRange(const Neighbor* data, std::uint32_t size)
+      : data_(data), size_(size) {}
+  NeighborRange(const Graph* g, NodeId self, std::uint32_t size)
+      : size_(size), g_(g), self_(self) {}
+
+  const Neighbor* data_ = nullptr;  ///< non-null => explicit arena window
+  std::uint32_t size_ = 0;
+  const Graph* g_ = nullptr;  ///< implicit: compute rows through the graph
+  NodeId self_ = kNoNode;
 };
 
 class Graph {
  public:
-  /// Builds a graph from an edge list.  Requires: endpoints < n, no self
-  /// loops, no parallel edges, all weights distinct.
+  /// Builds an explicit graph from an edge list.  Requires: endpoints < n,
+  /// no self loops, no parallel edges, all weights distinct and < 2^32.
+  /// Edge ids are list positions.
   Graph(NodeId n, std::vector<Edge> edges);
 
-  NodeId num_nodes() const { return n_; }
-  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  // Implicit O(1)-storage variants of the dense families.  Weights are the
+  // canonical labelling weight(e) = e + 1; no seed, no arena.
+  static Graph implicit_complete(NodeId n);
+  static Graph implicit_ring(NodeId n);
+  static Graph implicit_grid(NodeId rows, NodeId cols);
+  static Graph implicit_hypercube(int dim);
 
-  const Edge& edge(EdgeId e) const;
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_edges() const { return m_; }
+
+  /// Endpoints and weight of edge e (computed; returns by value).
+  Edge edge(EdgeId e) const;
 
   /// Neighbors of v sorted by ascending link weight.
-  std::span<const EdgeRef> neighbors(NodeId v) const;
+  NeighborRange neighbors(NodeId v) const;
 
-  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+  std::uint32_t degree(NodeId v) const;
+
+  /// v's weight-ordered adjacency slot for edge e (neighbors(v)[slot].edge
+  /// == e), or -1 if e is not incident to v.  O(1) when v is the edge's
+  /// canonical endpoint, otherwise O(log degree); O(log n) on implicit
+  /// cliques.  This replaces the per-node edge index LocalView used to
+  /// carry — the `edge_pos_` slab is shared by all n views.
+  int link_slot(NodeId v, EdgeId e) const;
 
   /// The endpoint of edge e that is not `from`.
   NodeId other_endpoint(EdgeId e, NodeId from) const;
 
-  const std::vector<Edge>& edges() const { return edges_; }
+  /// True for the implicit dense variants (no materialized arena).
+  bool is_implicit() const { return kind_ != Kind::kExplicit; }
+
+  /// Resident bytes of the topology storage (arena + offsets + edge slab);
+  /// the bytes-per-node bench counter divides this by n.
+  std::size_t topology_bytes() const;
+
+ private:
+  friend class NeighborRange;
+  friend class GraphBuilder;
+
+  enum class Kind : std::uint8_t {
+    kExplicit,
+    kComplete,
+    kRing,
+    kGrid,
+    kHypercube,
+  };
+
+  Graph() = default;
+
+  /// Row entry i of node v for the implicit families (O(1)).
+  Neighbor implicit_entry(NodeId v, std::uint32_t i) const;
+
+  Kind kind_ = Kind::kExplicit;
+  NodeId n_ = 0;
+  EdgeId m_ = 0;
+  std::uint32_t rows_ = 0;  ///< grid
+  std::uint32_t cols_ = 0;  ///< grid
+  std::uint32_t dim_ = 0;   ///< hypercube
+
+  // Explicit storage: one weight-sorted CSR arena plus the shared per-edge
+  // canonical-position slab.  Empty for implicit graphs.
+  std::vector<std::uint32_t> adj_offset_;  ///< n_ + 1 offsets into adj_
+  std::vector<Neighbor> adj_;              ///< rows, weight-sorted per node
+  std::vector<std::uint32_t> edge_pos_;    ///< edge -> canonical adj_ slot
+};
+
+inline Neighbor NeighborRange::operator[](std::uint32_t i) const {
+  if (data_ != nullptr) return data_[i];
+  return g_->implicit_entry(self_, i);
+}
+
+/// Streams (u, v) pairs into a CSR build without materializing an
+/// intermediate edge list: the generators add endpoint pairs (8 transient
+/// bytes per edge), then finish() assigns the seeded weight permutation
+/// 1..m and builds the arena in place.  Edge ids are emission positions —
+/// identical to the retired edge-list path, pinned by the golden topology
+/// digests in tests/test_topology.cpp.
+class GraphBuilder {
+ public:
+  /// n nodes; reserve capacity for `expected_edges` pairs.
+  explicit GraphBuilder(NodeId n, std::size_t expected_edges = 0);
+
+  /// Adds one undirected edge; returns its id.  Requires endpoints < n and
+  /// u != v.  The caller (the generators) guarantees simplicity; parallel
+  /// edges are not re-checked here.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  EdgeId num_edges() const { return static_cast<EdgeId>(eu_.size()); }
+
+  /// Finishes with weights = a random permutation of 1..m drawn from `rng`
+  /// (the exact draw sequence of the retired assign_weights helper).
+  Graph finish_permuted(Rng& rng) &&;
+
+  /// Finishes with the given per-edge weights (must be distinct, < 2^32).
+  Graph finish_with_weights(const std::vector<Weight>& weights) &&;
 
  private:
   NodeId n_;
-  std::vector<Edge> edges_;
-  std::vector<std::uint32_t> adj_offset_;  // n_ + 1 offsets into adj_
-  std::vector<EdgeRef> adj_;               // grouped by node, weight-sorted
+  std::vector<NodeId> eu_;
+  std::vector<NodeId> ev_;
 };
 
 }  // namespace mmn

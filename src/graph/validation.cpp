@@ -27,7 +27,7 @@ ForestStats analyze_forest(const Graph& g, const Forest& forest,
     const EdgeId pe = forest.parent_edge[v];
     MMN_ASSERT(pe != kNoEdge, context + ": non-root must have a parent edge");
     MMN_ASSERT(pe < g.num_edges(), context + ": parent edge out of range");
-    const Edge& e = g.edge(pe);
+    const Edge e = g.edge(pe);
     MMN_ASSERT((e.u == v && e.v == forest.parent[v]) ||
                    (e.v == v && e.u == forest.parent[v]),
                context + ": parent edge does not join node and parent");

@@ -28,7 +28,6 @@ Registry& Registry::instance() {
 void Registry::add(Scenario s) {
   MMN_REQUIRE(!s.name.empty(), "scenario needs a name");
   MMN_REQUIRE(find(s.name) == nullptr, "duplicate scenario name");
-  MMN_REQUIRE(s.make_graph != nullptr, "scenario needs a graph family");
   MMN_REQUIRE(s.make_factory != nullptr, "scenario needs a process factory");
   MMN_REQUIRE(!s.sweep_n.empty(), "scenario needs a default sweep");
   scenarios_.push_back(std::move(s));
@@ -41,9 +40,14 @@ const Scenario* Registry::find(std::string_view name) const {
   return nullptr;
 }
 
+Graph make_scenario_graph(const Scenario& s, NodeId n, std::uint64_t seed) {
+  return build_topology(
+      TopologySpec{s.topology, topology_round_n(s.topology, n), seed});
+}
+
 RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
               std::unique_ptr<sim::Scheduler> scheduler, EngineKind engine) {
-  const Graph g = s.make_graph(n, seed);
+  const Graph g = make_scenario_graph(s, n, seed);
   RunResult result;
   result.realized_n = g.num_nodes();
   if (engine == EngineKind::kSync) {
@@ -102,28 +106,13 @@ std::uint64_t fragment_digest(const NodeResults& results) {
   });
 }
 
-Graph square_grid(NodeId n, std::uint64_t seed) {
-  const auto side = static_cast<NodeId>(std::max(
-      2.0, std::round(std::sqrt(static_cast<double>(n)))));
-  return grid(side, side, seed);
-}
-
-Graph hypercube_for(NodeId n, std::uint64_t seed) {
-  std::uint32_t dim = 1;
-  while ((NodeId{1} << (dim + 1)) <= n) ++dim;
-  return hypercube(dim, seed);
-}
-
 void register_all() {
   Registry& r = Registry::instance();
 
   r.add(Scenario{
       "partition/det/random",
       "Section 3 deterministic partition on a random connected graph",
-      "random",
-      [](NodeId n, std::uint64_t seed) {
-        return random_connected(n, 2 * n, seed);
-      },
+      TopoKind::kRandom,
       [](const Graph&) -> sim::ProcessFactory {
         return [](const sim::LocalView& v) {
           return std::make_unique<PartitionDetProcess>(v,
@@ -138,10 +127,7 @@ void register_all() {
   r.add(Scenario{
       "partition/rand/random",
       "Section 4 randomized partition on a random connected graph",
-      "random",
-      [](NodeId n, std::uint64_t seed) {
-        return random_connected(n, 2 * n, seed);
-      },
+      TopoKind::kRandom,
       [](const Graph&) -> sim::ProcessFactory {
         return [](const sim::LocalView& v) {
           return std::make_unique<PartitionRandProcess>(v,
@@ -156,10 +142,7 @@ void register_all() {
   r.add(Scenario{
       "partition/anon/random",
       "Section 7.4 partition with unknown n and anonymous nodes",
-      "random",
-      [](NodeId n, std::uint64_t seed) {
-        return random_connected(n, 2 * n, seed);
-      },
+      TopoKind::kRandom,
       [](const Graph&) -> sim::ProcessFactory {
         return [](const sim::LocalView& v) {
           return std::make_unique<AnonymousPartitionProcess>(v);
@@ -173,10 +156,7 @@ void register_all() {
   r.add(Scenario{
       "mst/random",
       "Section 6 multimedia MST on a random connected graph",
-      "random",
-      [](NodeId n, std::uint64_t seed) {
-        return random_connected(n, 2 * n, seed);
-      },
+      TopoKind::kRandom,
       [](const Graph&) -> sim::ProcessFactory {
         return [](const sim::LocalView& v) {
           return std::make_unique<MstProcess>(v);
@@ -199,10 +179,7 @@ void register_all() {
   r.add(Scenario{
       "global/min/det/random",
       "Section 5 deterministic global min on a random connected graph",
-      "random",
-      [](NodeId n, std::uint64_t seed) {
-        return random_connected(n, 2 * n, seed);
-      },
+      TopoKind::kRandom,
       [](const Graph&) -> sim::ProcessFactory {
         GlobalFunctionConfig config;
         config.op = SemigroupOp::kMin;
@@ -225,8 +202,7 @@ void register_all() {
   r.add(Scenario{
       "global/min/rand/ring",
       "Section 5 randomized global min on a ring",
-      "ring",
-      [](NodeId n, std::uint64_t seed) { return ring(n, seed); },
+      TopoKind::kRing,
       [](const Graph&) -> sim::ProcessFactory {
         GlobalFunctionConfig config;
         config.op = SemigroupOp::kMin;
@@ -249,8 +225,7 @@ void register_all() {
   r.add(Scenario{
       "global/sum/bcast/complete",
       "Channel-only TDMA baseline folding a sum on a complete graph",
-      "complete",
-      [](NodeId n, std::uint64_t seed) { return complete(n, seed); },
+      TopoKind::kComplete,
       [](const Graph&) -> sim::ProcessFactory {
         return [](const sim::LocalView& v) {
           return std::make_unique<BroadcastGlobalProcess>(
@@ -270,8 +245,7 @@ void register_all() {
   r.add(Scenario{
       "global/max/tdma/ring",
       "TDMA channel discipline folding a max on a sparse ring",
-      "ring",
-      [](NodeId n, std::uint64_t seed) { return ring(n, seed); },
+      TopoKind::kRing,
       [](const Graph&) -> sim::ProcessFactory {
         return [](const sim::LocalView& v) {
           return std::make_unique<BroadcastGlobalProcess>(
@@ -292,8 +266,7 @@ void register_all() {
     Scenario grid_min{
         "global/min/p2p/grid",
         "Pure point-to-point baseline folding a min on a square grid",
-        "grid",
-        square_grid,
+        TopoKind::kGrid,
         [](const Graph&) -> sim::ProcessFactory {
           P2pGlobalConfig config;
           config.op = SemigroupOp::kMin;
@@ -319,8 +292,7 @@ void register_all() {
     Scenario cube_sum{
         "global/sum/p2p/hypercube",
         "Pure point-to-point sum on an iPSC-style hypercube",
-        "hypercube",
-        hypercube_for,
+        TopoKind::kHypercube,
         [](const Graph& g) -> sim::ProcessFactory {
           P2pGlobalConfig config;
           config.op = SemigroupOp::kSum;
@@ -358,8 +330,7 @@ void register_all() {
     Scenario cape_max{
         "global/max/cape/ring",
         "Greedy contenders folding a max, scheduled by Capetanakis splitting",
-        "ring",
-        [](NodeId n, std::uint64_t seed) { return ring(n, seed); },
+        TopoKind::kRing,
         [](const Graph&) -> sim::ProcessFactory {
           return [](const sim::LocalView& v) {
             return std::make_unique<ContentionGlobalProcess>(
@@ -383,8 +354,7 @@ void register_all() {
     Scenario tdma_sum{
         "global/sum/tdma/grid",
         "Greedy contenders folding a sum, serialized by the TDMA discipline",
-        "grid",
-        square_grid,
+        TopoKind::kGrid,
         [](const Graph&) -> sim::ProcessFactory {
           return [](const sim::LocalView& v) {
             return std::make_unique<ContentionGlobalProcess>(
@@ -408,8 +378,7 @@ void register_all() {
     Scenario unslotted_size{
         "size/unslotted/clique",
         "Exact network size on a clique over the unslotted busy-tone channel",
-        "complete",
-        [](NodeId n, std::uint64_t seed) { return complete(n, seed); },
+        TopoKind::kComplete,
         [](const Graph&) -> sim::ProcessFactory {
           return [](const sim::LocalView& v) {
             return std::make_unique<DeterministicSizeProcess>(v);
@@ -432,10 +401,7 @@ void register_all() {
     Scenario unslotted_part{
         "partition/det/unslotted/random",
         "Section 3 partition driven over the unslotted busy-tone channel",
-        "random",
-        [](NodeId n, std::uint64_t seed) {
-          return random_connected(n, 2 * n, seed);
-        },
+        TopoKind::kRandom,
         [](const Graph&) -> sim::ProcessFactory {
           return [](const sim::LocalView& v) {
             return std::make_unique<PartitionDetProcess>(v,
@@ -454,8 +420,7 @@ void register_all() {
     Scenario unslotted_p2p{
         "global/min/p2p/unslotted/grid",
         "P2P min fold with the synchronizer's tones on the unslotted channel",
-        "grid",
-        square_grid,
+        TopoKind::kGrid,
         [](const Graph&) -> sim::ProcessFactory {
           P2pGlobalConfig config;
           config.op = SemigroupOp::kMin;
@@ -484,10 +449,7 @@ void register_all() {
   r.add(Scenario{
       "size/det/random",
       "Section 7.3 exact network-size computation on a random graph",
-      "random",
-      [](NodeId n, std::uint64_t seed) {
-        return random_connected(n, 2 * n, seed);
-      },
+      TopoKind::kRandom,
       [](const Graph&) -> sim::ProcessFactory {
         return [](const sim::LocalView& v) {
           return std::make_unique<DeterministicSizeProcess>(v);
@@ -502,6 +464,95 @@ void register_all() {
       {64, 256},
       7,
       200'000'000});
+
+  // ---- lower-bound and implicit-topology entries -------------------------
+  //
+  // The ray graph is the Theorem 2 topology: the multimedia lower bound is
+  // proved on a center with vertex-disjoint rays, where the channel is the
+  // only way to beat the diameter.  The implicit-clique entries run on
+  // Graph::implicit_complete — O(1) topology storage — which is what lets
+  // the dense scenarios reach n = 16384 inside the CI memory ceiling.
+
+  r.add(Scenario{
+      "global/min/det/ray",
+      "Section 5 deterministic global min on the Theorem 2 ray graph",
+      TopoKind::kRay,
+      [](const Graph&) -> sim::ProcessFactory {
+        GlobalFunctionConfig config;
+        config.op = SemigroupOp::kMin;
+        config.variant = GlobalFunctionConfig::Variant::kDeterministic;
+        return [config](const sim::LocalView& v) {
+          return std::make_unique<GlobalFunctionProcess>(
+              v, config, static_cast<sim::Word>(v.self) + 1);
+        };
+      },
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
+          return static_cast<std::uint64_t>(
+              dynamic_cast<const GlobalFunctionProcess&>(p).result());
+        });
+      },
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "partition/det/ray",
+      "Section 3 deterministic partition on the Theorem 2 ray graph",
+      TopoKind::kRay,
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<PartitionDetProcess>(v,
+                                                       PartitionDetConfig{});
+        };
+      },
+      fragment_digest,
+      {64, 256},
+      7,
+      200'000'000});
+
+  r.add(Scenario{
+      "global/sum/bcast/iclique",
+      "Channel-only TDMA sum on an implicit (O(1)-storage) clique",
+      TopoKind::kCliqueImplicit,
+      [](const Graph&) -> sim::ProcessFactory {
+        return [](const sim::LocalView& v) {
+          return std::make_unique<BroadcastGlobalProcess>(
+              v, SemigroupOp::kSum, static_cast<sim::Word>(v.self) + 1);
+        };
+      },
+      [](const NodeResults& results) {
+        return fold_nodes(results, [](const sim::Process& p, NodeId) {
+          return static_cast<std::uint64_t>(
+              dynamic_cast<const BroadcastGlobalProcess&>(p).result());
+        });
+      },
+      {64, 128},
+      7,
+      200'000'000});
+
+  {
+    Scenario iclique_size{
+        "size/unslotted/iclique",
+        "Exact network size on an implicit clique, unslotted busy-tone",
+        TopoKind::kCliqueImplicit,
+        [](const Graph&) -> sim::ProcessFactory {
+          return [](const sim::LocalView& v) {
+            return std::make_unique<DeterministicSizeProcess>(v);
+          };
+        },
+        [](const NodeResults& results) {
+          return fold_nodes(results, [](const sim::Process& p, NodeId) {
+            return dynamic_cast<const DeterministicSizeProcess&>(p)
+                .network_size();
+          });
+        },
+        {48, 96},
+        7,
+        200'000'000};
+    iclique_size.discipline = sim::DisciplineKind::kUnslotted;
+    r.add(std::move(iclique_size));
+  }
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
 #include "support/metrics.hpp"
@@ -48,12 +49,14 @@ struct NodeResults {
 struct Scenario {
   std::string name;         ///< "family/variant", unique in the registry
   std::string description;  ///< one line for listings
-  std::string graph_family; ///< for display ("random", "ring", ...)
 
-  /// Builds the topology for a nominal size n (families with structural
-  /// constraints — grids, hypercubes — may round n; read the graph's
-  /// num_nodes() for the realized size).
-  std::function<Graph(NodeId n, std::uint64_t seed)> make_graph;
+  /// The topology family.  Every entry is size-parameterized: run() builds
+  /// the graph from TopologySpec{topology, n, seed}, so any sweep driver
+  /// can take the same scenario to 4k/16k/64k nodes (scenario_sweep --n=…,
+  /// the topology/build benches, the large-n CI smoke).  Families with
+  /// structural constraints (grids, hypercubes) round a nominal n via
+  /// topology_round_n; strict CLIs check topology_valid_n instead.
+  TopoKind topology = TopoKind::kRandom;
 
   /// Builds the per-node process factory for a given topology.
   std::function<sim::ProcessFactory(const Graph& g)> make_factory;
@@ -107,6 +110,10 @@ class Registry {
 
 /// Registers the built-in scenario table; idempotent.
 void register_builtin();
+
+/// The graph run() executes `s` on at nominal size n: the scenario's
+/// topology family at topology_round_n(s.topology, n) nodes.
+Graph make_scenario_graph(const Scenario& s, NodeId n, std::uint64_t seed);
 
 /// Runs one scenario at size n: generate the graph, build the engine of the
 /// requested kind under `scheduler` (null = serial), run to completion,

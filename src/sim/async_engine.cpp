@@ -24,10 +24,9 @@ AsyncEngine::AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
   for (NodeId v = 0; v < n; ++v) {
     processes_.push_back(factory(core_.view(v)));
     MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
-    const bool done = processes_.back()->finished();
-    finished_flag_.push_back(done ? 1 : 0);
-    if (done) ++finished_count_;
+    finished_flag_.push_back(processes_.back()->finished() ? 1 : 0);
   }
+  outstanding_ = initial_outstanding(finished_flag_, core_.scheduler().shards());
 }
 
 AsyncEngine::~AsyncEngine() = default;
@@ -42,20 +41,15 @@ const AsyncProcess& AsyncEngine::process(NodeId v) const {
   return *processes_[v];
 }
 
-/// Stages the node's finished-transition (if any) into its shard buffer;
-/// called right after the node's handlers ran, so the incremental count
-/// stays exact without an O(n) scan per slot.
+/// Folds the node's finished-transition (if any) into its shard's
+/// outstanding counter; called right after the node's handlers ran, so the
+/// batched count stays exact without an O(n) scan per slot.
 void AsyncEngine::note_finished(unsigned shard, NodeId v) {
   const char done = processes_[v]->finished() ? 1 : 0;
   if (done != finished_flag_[v]) {
     finished_flag_[v] = done;
-    core_.shard(shard).finished_delta += done ? 1 : -1;
+    outstanding_[shard].count += done ? -1 : 1;
   }
-}
-
-void AsyncEngine::commit_phase() {
-  finished_count_ = static_cast<NodeId>(
-      static_cast<std::int64_t>(finished_count_) + core_.commit_async_phase());
 }
 
 void AsyncEngine::start_node(unsigned shard, NodeId v) {
@@ -73,7 +67,7 @@ void AsyncEngine::start_processes() {
                                static_cast<AsyncEngine*>(env)->start_node(s, v);
                              },
                              this});
-  commit_phase();
+  core_.commit_async_phase();
   started_ = true;
 }
 
@@ -110,7 +104,7 @@ void AsyncEngine::run_delivery_phase() {
                             static_cast<AsyncEngine*>(env)->deliver_node(s, v);
                           },
                           this});
-    commit_phase();
+    core_.commit_async_phase();
   }
 }
 
@@ -135,7 +129,7 @@ void AsyncEngine::run_slot_fanout(const SlotObservation& obs) {
                           fe->engine->fanout_node(s, v, *fe->obs);
                         },
                         &env});
-  commit_phase();
+  core_.commit_async_phase();
 }
 
 bool AsyncEngine::step(std::uint64_t slots) {

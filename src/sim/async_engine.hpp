@@ -105,10 +105,10 @@ class AsyncContext final {
     MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
     MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
                 "packet exceeds the O(log n) bound");
-    const Neighbor& nb = view_->links[static_cast<std::size_t>(idx)];
+    const Neighbor nb = view_->links()[static_cast<std::uint32_t>(idx)];
     const std::uint64_t delay = 1 + rng_->next_below(max_delay_ticks_);
     shard_->async_outbox.push_back(AsyncMsgHeader{
-        now_ + delay, nb.id, view_->self, edge, shard_->stage_packet(packet)});
+        now_ + delay, nb.to, view_->self, edge, shard_->stage_packet(packet)});
     ++shard_->p2p_sent;
   }
 
@@ -154,6 +154,8 @@ class AsyncEngine {
   };
 
   /// max_delay_slots >= 1: upper bound on message delay, in slot lengths.
+  /// `g` must outlive the engine — node views are zero-copy windows into
+  /// its adjacency arena.
   /// The default scheduler is serial; pass make_scheduler(threads) to shard
   /// the slot phases over a thread pool (bit-identical results).  A null
   /// discipline is the free-for-all channel; a non-null one must not defer
@@ -189,7 +191,7 @@ class AsyncEngine {
   NodeId num_nodes() const { return core_.num_nodes(); }
 
  private:
-  bool all_finished() const { return finished_count_ == core_.num_nodes(); }
+  bool all_finished() const { return none_outstanding(outstanding_); }
   void start_processes();
   void start_node(unsigned shard, NodeId v);
   void run_delivery_phase();
@@ -197,13 +199,12 @@ class AsyncEngine {
   void run_slot_fanout(const SlotObservation& obs);
   void fanout_node(unsigned shard, NodeId v, const SlotObservation& obs);
   void note_finished(unsigned shard, NodeId v);
-  void commit_phase();
 
   RuntimeCore core_;
   std::vector<std::unique_ptr<AsyncProcess>> processes_;
   std::vector<std::uint64_t> last_write_slot_;  // per-node write dedup
   std::vector<char> finished_flag_;  // per node; char: shard-safe writes
-  NodeId finished_count_ = 0;
+  std::vector<ShardOutstanding> outstanding_;  // batched finished() probe
   std::uint64_t slot_index_ = 0;
   std::uint32_t max_delay_ticks_;
   bool started_ = false;

@@ -23,11 +23,12 @@ Engine::Engine(const Graph& g, const ProcessFactory& factory,
   for (NodeId v = 0; v < n; ++v) {
     processes_.push_back(factory(core_.view(v)));
     MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
-    const bool done = processes_.back()->finished();
-    finished_flag_.push_back(done ? 1 : 0);
-    if (done) ++finished_count_;
+    finished_flag_.push_back(processes_.back()->finished() ? 1 : 0);
   }
+  outstanding_ = initial_outstanding(finished_flag_, core_.scheduler().shards());
 }
+
+bool Engine::all_finished() const { return none_outstanding(outstanding_); }
 
 Engine::~Engine() = default;
 
@@ -52,18 +53,16 @@ void Engine::node_round(unsigned shard, NodeId v) {
   const char done = processes_[v]->finished() ? 1 : 0;
   if (done != finished_flag_[v]) {
     finished_flag_[v] = done;
-    core_.shard(shard).finished_delta += done ? 1 : -1;
+    outstanding_[shard].count += done ? -1 : 1;
   }
 }
 
 void Engine::run_one_round() {
-  const std::int64_t delta = core_.run_round(Scheduler::NodeFn{
+  core_.run_round(Scheduler::NodeFn{
       [](void* env, unsigned s, NodeId v) {
         static_cast<Engine*>(env)->node_round(s, v);
       },
       this});
-  finished_count_ = static_cast<NodeId>(
-      static_cast<std::int64_t>(finished_count_) + delta);
 }
 
 bool Engine::step(std::uint64_t rounds) {

@@ -14,9 +14,11 @@
 // sim/runtime_core.hpp.  Node execution within a round is delegated to a
 // Scheduler — serial by default, or an std::thread pool that shards the node
 // set; both produce bit-identical results for the same seed
-// (sim/scheduler.hpp).  Termination is detected incrementally: the engine
-// maintains a finished-node count from per-round deltas instead of scanning
-// every process before every round.
+// (sim/scheduler.hpp).  Termination is detected incrementally and batched
+// per shard: each shard keeps an outstanding (not-yet-finished) counter on
+// its own cache line, a node's finished() probe only touches that counter
+// on a transition, and the engine sums the handful of shard counters after
+// the barrier — no per-node delta staging, no O(n) scan.
 //
 // The per-node hot path is devirtualized end to end: the scheduler reaches
 // node_round through a raw function pointer, and NodeContext is a concrete
@@ -39,7 +41,9 @@ namespace mmn::sim {
 
 class Engine {
  public:
-  /// Builds the network: one process per node of g.  The default scheduler
+  /// Builds the network: one process per node of g.  `g` must outlive the
+  /// engine — node views are zero-copy windows into its adjacency arena.
+  /// The default scheduler
   /// is serial; pass make_scheduler(threads) to shard rounds over a pool.
   /// A null discipline is the free-for-all channel (the seed behavior);
   /// pass make_discipline(kind) to run the workload under TDMA, Capetanakis
@@ -74,14 +78,17 @@ class Engine {
   NodeId num_nodes() const { return core_.num_nodes(); }
 
  private:
-  bool all_finished() const { return finished_count_ == core_.num_nodes(); }
+  bool all_finished() const;
   void node_round(unsigned shard, NodeId v);
   void run_one_round();
 
   RuntimeCore core_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<char> finished_flag_;  // per node; char: shard-safe writes
-  NodeId finished_count_ = 0;
+  /// Per-shard count of unfinished nodes in the shard's static node range.
+  /// Written only by the shard's own worker (cache-line aligned), summed by
+  /// the driver after the barrier — the batched finished() probe.
+  std::vector<ShardOutstanding> outstanding_;
 };
 
 /// Convenience: builds the engine, runs to completion, returns metrics.

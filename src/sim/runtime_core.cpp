@@ -6,15 +6,17 @@
 
 namespace mmn::sim {
 
-void LocalView::finalize() {
-  edge_index_.clear();
-  edge_index_.reserve(links.size());
-  for (std::size_t i = 0; i < links.size(); ++i) {
-    edge_index_.push_back(
-        EdgeSlot{links[i].edge, static_cast<std::uint32_t>(i)});
+std::vector<ShardOutstanding> initial_outstanding(
+    const std::vector<char>& flags, unsigned shards) {
+  std::vector<ShardOutstanding> counts(shards);
+  const auto n = static_cast<NodeId>(flags.size());
+  for (unsigned s = 0; s < shards; ++s) {
+    const auto [first, last] = Scheduler::shard_range(n, s, shards);
+    for (NodeId v = first; v < last; ++v) {
+      counts[s].count += flags[v] ? 0 : 1;
+    }
   }
-  std::sort(edge_index_.begin(), edge_index_.end(),
-            [](const EdgeSlot& a, const EdgeSlot& b) { return a.edge < b.edge; });
+  return counts;
 }
 
 void MessageArena::reset(NodeId n, unsigned shards) {
@@ -147,22 +149,19 @@ std::size_t SlotBuckets::stage(std::uint64_t slot) {
 RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
                          std::unique_ptr<Scheduler> scheduler,
                          std::unique_ptr<ChannelDiscipline> discipline)
-    : scheduler_(scheduler ? std::move(scheduler)
+    : graph_(&g),
+      scheduler_(scheduler ? std::move(scheduler)
                            : std::make_unique<SerialScheduler>()),
       discipline_(discipline ? std::move(discipline)
                              : std::make_unique<FreeForAllDiscipline>()) {
   const NodeId n = g.num_nodes();
+  // Views are O(n) pointer setup over the graph's shared CSR arena — no
+  // per-node adjacency copy, no per-node edge index (see graph/graph.hpp).
   views_.resize(n);
   rngs_.reserve(n);
   Rng root(seed);
   for (NodeId v = 0; v < n; ++v) {
-    LocalView& view = views_[v];
-    view.self = v;
-    view.n = n;
-    for (const EdgeRef& e : g.neighbors(v)) {
-      view.links.push_back(Neighbor{e.to, e.id, e.weight});
-    }
-    view.finalize();
+    views_[v] = LocalView{v, n, &g};
     rngs_.push_back(root.fork(v));
   }
   shards_.resize(scheduler_->shards());
@@ -177,9 +176,8 @@ SlotObservation RuntimeCore::resolve_slot() {
   return obs;
 }
 
-std::int64_t RuntimeCore::run_round(Scheduler::NodeFn fn) {
+void RuntimeCore::run_round(Scheduler::NodeFn fn) {
   scheduler_->for_each_node(num_nodes(), fn);
-  std::int64_t finished_delta = 0;
   for (ShardBuffer& sb : shards_) {
     for (ChannelWrite& w : sb.channel_writes) {
       slot_writes_.push_back(std::move(w));
@@ -187,18 +185,14 @@ std::int64_t RuntimeCore::run_round(Scheduler::NodeFn fn) {
     sb.channel_writes.clear();
     metrics_.p2p_messages += sb.p2p_sent;
     sb.p2p_sent = 0;
-    finished_delta += sb.finished_delta;
-    sb.finished_delta = 0;
   }
   slot_ = resolve_slot();
   arena_.flip(shards_);  // clears the shard outboxes, recycles the pools
   ++round_;
   ++metrics_.rounds;
-  return finished_delta;
 }
 
-std::int64_t RuntimeCore::commit_async_phase() {
-  std::int64_t finished_delta = 0;
+void RuntimeCore::commit_async_phase() {
   for (ShardBuffer& sb : shards_) {
     for (ChannelWrite& w : sb.channel_writes) {
       slot_writes_.push_back(std::move(w));
@@ -207,10 +201,8 @@ std::int64_t RuntimeCore::commit_async_phase() {
       slot_buckets_.push(send, sb.pool[send.ref]);
     }
     metrics_.p2p_messages += sb.p2p_sent;
-    finished_delta += sb.finished_delta;
     sb.clear_round();
   }
-  return finished_delta;
 }
 
 }  // namespace mmn::sim

@@ -39,48 +39,35 @@
 
 namespace mmn::sim {
 
-/// One incident link as known locally by a node.
-struct Neighbor {
-  NodeId id = kNoNode;  ///< the node on the other end
-  EdgeId edge = kNoEdge;
-  Weight weight = 0;
-};
+/// One incident link as known locally by a node — the graph layer's packed
+/// adjacency row itself (graph/graph.hpp).  The former sim-local twin
+/// struct is gone: a LocalView windows the Graph's CSR arena directly.
+using mmn::Neighbor;
 
 /// A node's a-priori knowledge: its id, its links sorted by ascending weight,
 /// and the network size n (assumed known, Section 2; Section 7.3/7.4 shows
 /// how to compute/estimate it — see core/size.hpp).
+///
+/// A 16-byte non-owning view: `links()` is a zero-copy window into the
+/// topology's shared CSR arena (or an O(1) generator on the implicit dense
+/// families) and `link_index` resolves through the graph's shared per-edge
+/// slab — nothing is copied per node, so RuntimeCore construction is O(n)
+/// regardless of m.  The Graph must outlive every view (RuntimeCore, the
+/// engines, and every Process hold views by reference).
 struct LocalView {
   NodeId self = kNoNode;
   NodeId n = 0;
-  std::vector<Neighbor> links;  ///< ascending weight
+  const Graph* topo = nullptr;
 
-  /// Index into `links` of the given edge, or -1.  O(log degree): binary
-  /// search over the edge-sorted flat index finalize() built.  Views must be
-  /// finalized before use — RuntimeCore finalizes every view at
-  /// construction, and hand-built views must call finalize() themselves.
-  int link_index(EdgeId edge) const {
-    MMN_DCHECK(links.empty() || !edge_index_.empty(),
-               "LocalView::finalize() was never called");
-    const auto it = std::lower_bound(
-        edge_index_.begin(), edge_index_.end(), edge,
-        [](const EdgeSlot& e, EdgeId key) { return e.edge < key; });
-    if (it == edge_index_.end() || it->edge != edge) return -1;
-    return static_cast<int>(it->slot);
-  }
+  /// This node's links, ascending weight.  Value-semantic range — build it
+  /// per access (range-for keeps it alive for the loop), don't store it.
+  NeighborRange links() const { return topo->neighbors(self); }
 
-  /// Builds the edge -> link-slot lookup; call once after `links` is final.
-  void finalize();
+  std::uint32_t degree() const { return topo->degree(self); }
 
- private:
-  /// One entry of the flat edge index: links[slot].edge == edge.  A sorted
-  /// array + binary search beats the former unordered_map on the send path —
-  /// no hashing, no pointer chase, and the whole index of a typical degree
-  /// fits in one or two cache lines.
-  struct EdgeSlot {
-    EdgeId edge;
-    std::uint32_t slot;
-  };
-  std::vector<EdgeSlot> edge_index_;  ///< ascending edge id
+  /// Index into links() of the given edge, or -1 if not incident.  O(1)
+  /// from the edge's canonical endpoint, O(log degree) otherwise.
+  int link_index(EdgeId edge) const { return topo->link_slot(self, edge); }
 };
 
 /// A point-to-point message as received: the delivery header plus a pointer
@@ -129,7 +116,6 @@ struct alignas(64) ShardBuffer {
   std::vector<Packet> pool;  ///< payloads behind outbox/async_outbox refs
   std::vector<ChannelWrite> channel_writes;
   std::uint64_t p2p_sent = 0;
-  std::int64_t finished_delta = 0;  ///< nodes that toggled finished()
 
   /// Files one payload in the shard's pool and returns its ref.
   PacketRef stage_packet(const Packet& packet) {
@@ -144,9 +130,32 @@ struct alignas(64) ShardBuffer {
     pool.clear();
     channel_writes.clear();
     p2p_sent = 0;
-    finished_delta = 0;
   }
 };
+
+/// One shard's count of not-yet-finished nodes within its static node range
+/// (Scheduler::shard_range).  The engines batch the per-node finished()
+/// probe into these counters: a probe only touches the counter on a
+/// finished-transition, each counter is written exclusively by its shard's
+/// worker (cache-line aligned — adjacent shards run on different threads),
+/// and the driver sums the handful of counters after the barrier.  This
+/// replaces the per-node finished-delta staging ShardBuffer used to carry.
+struct alignas(64) ShardOutstanding {
+  std::int64_t count = 0;
+};
+
+/// Initial per-shard outstanding counts for n nodes whose finished flags are
+/// `flags` (flags[v] != 0 means finished), sharded like the scheduler.
+std::vector<ShardOutstanding> initial_outstanding(
+    const std::vector<char>& flags, unsigned shards);
+
+/// True when no shard has unfinished nodes left.
+inline bool none_outstanding(const std::vector<ShardOutstanding>& counts) {
+  for (const ShardOutstanding& s : counts) {
+    if (s.count != 0) return false;
+  }
+  return true;
+}
 
 /// Per-round API handed to a Process.  All sends happen "this round" and are
 /// delivered next round; at most one channel write per round.
@@ -214,9 +223,9 @@ class NodeContext final {
     MMN_REQUIRE(idx >= 0, "send over a link not incident to this node");
     MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
                 "packet exceeds the O(log n) bound");
-    const Neighbor& nb = view_->links[static_cast<std::size_t>(idx)];
+    const Neighbor nb = view_->links()[static_cast<std::uint32_t>(idx)];
     shard_->outbox.push_back(
-        MsgHeader{nb.id, view_->self, edge, shard_->stage_packet(packet)});
+        MsgHeader{nb.to, view_->self, edge, shard_->stage_packet(packet)});
     ++shard_->p2p_sent;
     sent_message_ = true;
   }
@@ -409,9 +418,12 @@ class SlotBuckets {
 /// The substrate both engines execute on.
 class RuntimeCore {
  public:
-  /// Builds views (finalized), per-node RNG streams forked from `seed`, the
-  /// channel, metrics, and the message arena.  A null scheduler means serial;
-  /// a null discipline means free-for-all (the bare Section 2 channel).
+  /// Builds views, per-node RNG streams forked from `seed`, the channel,
+  /// metrics, and the message arena.  Views are non-owning windows into the
+  /// graph's CSR arena (O(n) pointer setup, no adjacency copies), so `g`
+  /// must outlive the core and every engine built on it.  A null scheduler
+  /// means serial; a null discipline means free-for-all (the bare Section 2
+  /// channel).
   RuntimeCore(const Graph& g, std::uint64_t seed,
               std::unique_ptr<Scheduler> scheduler = nullptr,
               std::unique_ptr<ChannelDiscipline> discipline = nullptr);
@@ -420,6 +432,7 @@ class RuntimeCore {
   RuntimeCore& operator=(const RuntimeCore&) = delete;
 
   NodeId num_nodes() const { return static_cast<NodeId>(views_.size()); }
+  const Graph& graph() const { return *graph_; }
   const LocalView& view(NodeId v) const { return views_[v]; }
   Rng& rng(NodeId v) { return rngs_[v]; }
   Channel& channel() { return channel_; }
@@ -434,8 +447,9 @@ class RuntimeCore {
   /// One lockstep round: runs `fn` over every node under the scheduler, then
   /// commits deterministically — channel writes and p2p sends merged in
   /// ascending shard order, slot resolved, arena flipped, round advanced.
-  /// Returns the net change in the number of finished nodes.
-  std::int64_t run_round(Scheduler::NodeFn fn);
+  /// (Termination tracking lives with the engines' per-shard outstanding
+  /// counters; the core commits only message/channel effects.)
+  void run_round(Scheduler::NodeFn fn);
 
   /// Resolves the current slot through the channel discipline: the staged
   /// writes (ascending commit order = ascending node order within the slot)
@@ -457,11 +471,11 @@ class RuntimeCore {
   /// merged in ascending shard order — channel writes into the channel,
   /// async sends seq-stamped into the slot buckets, p2p counts into metrics.
   /// The shard-major merge order equals the serial emission order, so the
-  /// committed state is identical under any scheduler.  Returns the net
-  /// change in the number of finished nodes staged by the phase.
-  std::int64_t commit_async_phase();
+  /// committed state is identical under any scheduler.
+  void commit_async_phase();
 
  private:
+  const Graph* graph_;
   std::vector<LocalView> views_;
   std::vector<Rng> rngs_;
   std::unique_ptr<Scheduler> scheduler_;

@@ -85,7 +85,7 @@ class ChatterProcess final : public Process {
   explicit ChatterProcess(const LocalView& view) : view_(view) {}
 
   void round(NodeContext& ctx) override {
-    for (const Neighbor& nb : view_.links) {
+    for (const Neighbor& nb : view_.links()) {
       ctx.send(nb.edge, Packet(1, {static_cast<Word>(ctx.round() & 0xFF),
                                    static_cast<Word>(view_.self)}));
     }
@@ -126,7 +126,7 @@ class AsyncChatterProcess final : public AsyncProcess {
 
  private:
   void blast(AsyncContext& ctx) {
-    for (const Neighbor& nb : view_.links) {
+    for (const Neighbor& nb : view_.links()) {
       ctx.send(nb.edge, Packet(1, {static_cast<Word>(view_.self)}));
     }
   }

@@ -96,7 +96,7 @@ TEST_P(GeneratorTest, ProducesExpectedShape) {
 TEST_P(GeneratorTest, WeightsAreDistinctPermutation) {
   const Graph g = GetParam().make(7);
   std::set<Weight> weights;
-  for (const Edge& e : g.edges()) weights.insert(e.weight);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) weights.insert(g.edge(e).weight);
   EXPECT_EQ(weights.size(), g.num_edges());
   EXPECT_EQ(*weights.begin(), 1u);
   EXPECT_EQ(*weights.rbegin(), g.num_edges());

@@ -1,9 +1,11 @@
 // Tests for the scenario registry: registration invariants, lookup, and
 // deterministic reruns.
 #include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "graph/generators.hpp"
 #include "scenario/registry.hpp"
 
 namespace mmn::scenario {
@@ -17,8 +19,12 @@ TEST(ScenarioRegistry, BuiltinTableHasAtLeastSixScenarios) {
   for (const Scenario& s : all) {
     EXPECT_FALSE(s.name.empty());
     EXPECT_FALSE(s.sweep_n.empty()) << s.name;
-    EXPECT_NE(s.make_graph, nullptr) << s.name;
     EXPECT_NE(s.make_factory, nullptr) << s.name;
+    // Every default sweep size must be exactly admissible for the entry's
+    // topology family — the registry never relies on silent rounding.
+    for (NodeId n : s.sweep_n) {
+      EXPECT_TRUE(topology_valid_n(s.topology, n)) << s.name << " n=" << n;
+    }
   }
 }
 
@@ -26,7 +32,7 @@ TEST(ScenarioRegistry, FindByName) {
   register_builtin();
   const Scenario* mst = Registry::instance().find("mst/random");
   ASSERT_NE(mst, nullptr);
-  EXPECT_EQ(mst->graph_family, "random");
+  EXPECT_EQ(std::string(topology_name(mst->topology)), "random");
   EXPECT_EQ(Registry::instance().find("no/such/scenario"), nullptr);
 }
 

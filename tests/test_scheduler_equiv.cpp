@@ -224,7 +224,7 @@ class AsyncRelay final : public sim::AsyncProcess {
 
   void start(sim::AsyncContext& ctx) override {
     if (view_.self == 0) {
-      for (const sim::Neighbor& nb : view_.links) {
+      for (const sim::Neighbor& nb : view_.links()) {
         ctx.send(nb.edge, sim::Packet(1, {8}));
       }
     }
@@ -234,8 +234,8 @@ class AsyncRelay final : public sim::AsyncProcess {
     trace_.push_back(static_cast<NodeId>(msg.from));
     const sim::Word hops = msg.packet()[0];
     if (hops > 0) {
-      for (const sim::Neighbor& nb : view_.links) {
-        if (nb.id != msg.from) ctx.send(nb.edge, sim::Packet(1, {hops - 1}));
+      for (const sim::Neighbor& nb : view_.links()) {
+        if (nb.to != msg.from) ctx.send(nb.edge, sim::Packet(1, {hops - 1}));
       }
     }
     done_ = true;
@@ -281,8 +281,8 @@ class FanInProcess final : public sim::Process {
   void round(sim::NodeContext& ctx) override {
     if (ctx.round() == 0 && view_.self != 0) {
       // On a complete graph some link reaches node 0.
-      for (const sim::Neighbor& nb : view_.links) {
-        if (nb.id == 0) {
+      for (const sim::Neighbor& nb : view_.links()) {
+        if (nb.to == 0) {
           ctx.send(nb.edge, sim::Packet(1, {sim::Word{view_.self}}));
           break;
         }

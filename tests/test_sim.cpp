@@ -96,7 +96,7 @@ class PingProcess final : public Process {
 
   void round(NodeContext& ctx) override {
     if (ctx.round() == 0 && view_.self == 0) {
-      ctx.send(view_.links[0].edge, Packet(kPing, {123}));
+      ctx.send(view_.links()[0].edge, Packet(kPing, {123}));
       EXPECT_TRUE(ctx.sent_message());
     }
     for (const Received& r : ctx.inbox()) {
@@ -238,7 +238,7 @@ class OversizeSendProcess final : public Process {
       p.push(static_cast<Word>(i));
     }
     EXPECT_GT(p.size(), Packet::kMaxWords);
-    EXPECT_THROW(ctx.send(view_.links[0].edge, p), std::invalid_argument);
+    EXPECT_THROW(ctx.send(view_.links()[0].edge, p), std::invalid_argument);
     EXPECT_THROW(ctx.channel_write(p), std::invalid_argument);
     done_ = true;
   }
@@ -292,10 +292,10 @@ TEST(Engine, LocalViewExposesWeightSortedLinks) {
   const Graph g = random_connected(20, 30, 3);
   Engine engine(g, [&g](const LocalView& v) {
     EXPECT_EQ(v.n, 20u);
-    for (std::size_t i = 1; i < v.links.size(); ++i) {
-      EXPECT_LT(v.links[i - 1].weight, v.links[i].weight);
+    for (std::size_t i = 1; i < v.links().size(); ++i) {
+      EXPECT_LT(v.links()[i - 1].weight, v.links()[i].weight);
     }
-    EXPECT_EQ(v.links.size(), g.degree(v.self));
+    EXPECT_EQ(v.links().size(), g.degree(v.self));
     return std::make_unique<PingProcess>(v);
   }, 7);
   engine.run(10);
@@ -338,7 +338,7 @@ class AsyncEcho final : public AsyncProcess {
 
   void start(AsyncContext& ctx) override {
     if (view_.self == 0) {
-      ctx.send(view_.links[0].edge, Packet(kAsyncPing, {1}));
+      ctx.send(view_.links()[0].edge, Packet(kAsyncPing, {1}));
     }
   }
 
@@ -448,7 +448,7 @@ class BurstRecorder final : public AsyncProcess {
   void start(AsyncContext& ctx) override {
     if (view_.self == 0) {
       for (int i = 0; i < kBurst; ++i) {
-        ctx.send(view_.links[0].edge, Packet(kAsyncPing, {i}));
+        ctx.send(view_.links()[0].edge, Packet(kAsyncPing, {i}));
       }
     }
   }

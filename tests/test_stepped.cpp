@@ -30,8 +30,8 @@ class WaveProcess final : public SteppedProcess {
   void step_begin(std::uint64_t, sim::NodeContext& ctx) override {
     begin_rounds_.push_back(ctx.round());
     if (view_.self == 0) {
-      for (const auto& link : view_.links) {
-        if (link.id == 1) ctx.send(link.edge, sim::Packet(kWave));
+      for (const auto& link : view_.links()) {
+        if (link.to == 1) ctx.send(link.edge, sim::Packet(kWave));
       }
     }
   }
@@ -39,8 +39,8 @@ class WaveProcess final : public SteppedProcess {
   void on_message(std::uint64_t, const sim::Received& msg,
                   sim::NodeContext& ctx) override {
     // Forward the wave away from smaller ids.
-    for (const auto& link : view_.links) {
-      if (link.id > view_.self && link.id != msg.from) {
+    for (const auto& link : view_.links()) {
+      if (link.to > view_.self && link.to != msg.from) {
         ctx.send(link.edge, sim::Packet(kWave));
       }
     }

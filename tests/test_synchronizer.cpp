@@ -122,8 +122,8 @@ class ReservedTypeAbuser final : public sim::Process {
  public:
   explicit ReservedTypeAbuser(const sim::LocalView& view) : view_(view) {}
   void round(sim::NodeContext& ctx) override {
-    if (!view_.links.empty()) {
-      ctx.send(view_.links[0].edge, sim::Packet(0xFFFE));
+    if (!view_.links().empty()) {
+      ctx.send(view_.links()[0].edge, sim::Packet(0xFFFE));
     }
     done_ = true;
   }

@@ -1,0 +1,364 @@
+// Topology-substrate equivalence suite.
+//
+// The CSR refactor (one weight-sorted arena + shared edge slab + zero-copy
+// LocalViews) must be invisible to every layer above: the golden digests
+// below were captured from the PRE-refactor tree (edge-list build, per-node
+// adjacency copies) for all 8 generators at several (shape, seed) pairs and
+// pin the new build to the identical adjacency — same edge ids, same weight
+// permutation, same per-node weight-sorted link order.  The implicit dense
+// variants are checked structurally against explicit rebuilds of the same
+// edge set, and the LocalView tests pin the zero-copy property itself.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "sim/runtime_core.hpp"
+
+namespace mmn {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t w) {
+  h ^= w;
+  return h * 0x100000001b3ULL;
+}
+
+/// FNV-1a over (n, m), every node's neighbor rows (to, edge, weight) in
+/// weight order, then every edge's (u, v, weight) by id — the exact fold
+/// the pre-refactor capture used.
+std::uint64_t topo_digest(const Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, g.num_nodes());
+  h = mix(h, g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Neighbor& e : g.neighbors(v)) {
+      h = mix(h, e.to);
+      h = mix(h, e.edge);
+      h = mix(h, e.weight);
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    h = mix(h, ed.u);
+    h = mix(h, ed.v);
+    h = mix(h, ed.weight);
+  }
+  return h;
+}
+
+struct GoldenCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+  std::uint64_t digest7, digest123, digest9001;  // per seed
+};
+
+Graph g_random50(std::uint64_t s) { return random_connected(50, 60, s); }
+Graph g_random256(std::uint64_t s) { return random_connected(256, 512, s); }
+Graph g_tree40(std::uint64_t s) { return random_tree(40, s); }
+Graph g_tree129(std::uint64_t s) { return random_tree(129, s); }
+Graph g_grid6x7(std::uint64_t s) { return grid(6, 7, s); }
+Graph g_grid16(std::uint64_t s) { return grid(16, 16, s); }
+Graph g_ring20(std::uint64_t s) { return ring(20, s); }
+Graph g_ring257(std::uint64_t s) { return ring(257, s); }
+Graph g_path15(std::uint64_t s) { return path(15, s); }
+Graph g_path100(std::uint64_t s) { return path(100, s); }
+Graph g_complete9(std::uint64_t s) { return complete(9, s); }
+Graph g_complete33(std::uint64_t s) { return complete(33, s); }
+Graph g_cube4(std::uint64_t s) { return hypercube(4, s); }
+Graph g_cube7(std::uint64_t s) { return hypercube(7, s); }
+Graph g_ray5x6(std::uint64_t s) { return ray_graph(5, 6, s); }
+Graph g_ray16(std::uint64_t s) { return ray_graph(16, 16, s); }
+
+// Captured from the pre-CSR tree (see tests/test_topology.cpp history):
+// Graph(n, vector<Edge>) + assign_weights, seeds 7 / 123 / 9001.
+const GoldenCase kGolden[] = {
+    {"random50", g_random50, 0xab6f2c10c7399e45ull, 0x5f85989aea590b41ull,
+     0xf20af0834208a131ull},
+    {"random256", g_random256, 0x3449df5dc83ec106ull, 0x9964063fd9b686d4ull,
+     0x53576e051adf6ae8ull},
+    {"tree40", g_tree40, 0xb77f9401960c4d90ull, 0x7d78fbe215d98818ull,
+     0x2b5070f15f3900c8ull},
+    {"tree129", g_tree129, 0xeb77ebb5b8bbcd10ull, 0x18933de5f27baf54ull,
+     0x94bddd7386ab4fd4ull},
+    {"grid6x7", g_grid6x7, 0xa4ab32246c46f81cull, 0xcfcb0dfa76e49408ull,
+     0x970ba24c8722f0bcull},
+    {"grid16x16", g_grid16, 0x2c0ceaf034abbcf9ull, 0xb6290316fb0b791dull,
+     0x4e2c7daf39a00c99ull},
+    {"ring20", g_ring20, 0x73ce5ed0a0d7ef5dull, 0x2776add94f43810dull,
+     0x1cdebe12d580e8ffull},
+    {"ring257", g_ring257, 0x275868a0d937d4e0ull, 0xcfa51b5509c5a6d8ull,
+     0xb1e6330efa54f648ull},
+    {"path15", g_path15, 0x95f339092d9809b3ull, 0xe1a04ec84d32c791ull,
+     0x60f5ea5abcbee149ull},
+    {"path100", g_path100, 0x8e3d10591810c808ull, 0x475612cef0b23f78ull,
+     0x03d99c1e3d05247eull},
+    {"complete9", g_complete9, 0x5bca3c75d6390dc4ull, 0xa5d1e7b00ae44d94ull,
+     0xa2a53fd0bae2b38aull},
+    {"complete33", g_complete33, 0x1c61d68be1a01df0ull, 0xb39d3e984ac331c2ull,
+     0xde31ce1d822515baull},
+    {"hypercube4", g_cube4, 0xa1b327b554385635ull, 0xf2d72e6801e1b437ull,
+     0xb669dbb722f4d04full},
+    {"hypercube7", g_cube7, 0xe8382c46ef5d825dull, 0x87d753393d754973ull,
+     0xee7ba4583ca71411ull},
+    {"ray5x6", g_ray5x6, 0x23c535f302fd7b27ull, 0xd570bd09e7e93409ull,
+     0xa20b7dc091e10837ull},
+    {"ray16x16", g_ray16, 0xb8321cf7a379195eull, 0x5ee2f9afa2863286ull,
+     0x8bdbb34a8ab252ceull},
+};
+
+class GoldenTopologyTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTopologyTest, CsrBuildMatchesPreRefactorEdgeListBuild) {
+  const GoldenCase& c = GetParam();
+  EXPECT_EQ(topo_digest(c.make(7)), c.digest7);
+  EXPECT_EQ(topo_digest(c.make(123)), c.digest123);
+  EXPECT_EQ(topo_digest(c.make(9001)), c.digest9001);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GoldenTopologyTest,
+                         ::testing::ValuesIn(kGolden),
+                         [](const ::testing::TestParamInfo<GoldenCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---- structural invariants of the CSR arena --------------------------------
+
+void expect_well_formed(const Graph& g) {
+  std::set<Weight> weights;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    ASSERT_LT(ed.u, g.num_nodes());
+    ASSERT_LT(ed.v, g.num_nodes());
+    ASSERT_NE(ed.u, ed.v);
+    ASSERT_TRUE(weights.insert(ed.weight).second) << "duplicate weight";
+    // link_slot round-trips from both endpoints.
+    for (NodeId v : {ed.u, ed.v}) {
+      const int slot = g.link_slot(v, e);
+      ASSERT_GE(slot, 0);
+      const Neighbor nb = g.neighbors(v)[static_cast<std::uint32_t>(slot)];
+      EXPECT_EQ(nb.edge, e);
+      EXPECT_EQ(nb.to, v == ed.u ? ed.v : ed.u);
+      EXPECT_EQ(nb.weight, ed.weight);
+    }
+    EXPECT_EQ(g.other_endpoint(e, ed.u), ed.v);
+  }
+  std::size_t entries = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NeighborRange row = g.neighbors(v);
+    EXPECT_EQ(row.size(), g.degree(v));
+    entries += row.size();
+    for (std::uint32_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(row[i - 1].weight, row[i].weight) << "node " << v;
+      }
+      EXPECT_EQ(g.link_slot(v, row[i].edge), static_cast<int>(i));
+    }
+    // Iterator and operator[] agree.
+    std::uint32_t i = 0;
+    for (const Neighbor& nb : row) {
+      EXPECT_EQ(nb.to, row[i].to);
+      EXPECT_EQ(nb.edge, row[i].edge);
+      ++i;
+    }
+    EXPECT_EQ(i, row.size());
+  }
+  EXPECT_EQ(entries, 2ull * g.num_edges());
+  // A non-incident edge never resolves to a slot.
+  if (g.num_nodes() >= 3 && g.num_edges() >= 1) {
+    const Edge e0 = g.edge(0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != e0.u && v != e0.v) {
+        EXPECT_EQ(g.link_slot(v, 0), -1);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(g.link_slot(0, g.num_edges()), -1);  // out-of-range edge id
+}
+
+TEST(TopologySubstrate, ExplicitGraphsAreWellFormed) {
+  expect_well_formed(random_connected(64, 128, 5));
+  expect_well_formed(grid(5, 9, 5));
+  expect_well_formed(complete(17, 5));
+  expect_well_formed(ray_graph(4, 5, 5));
+}
+
+// ---- implicit dense variants ----------------------------------------------
+
+/// Rebuilds an implicit graph's edge set explicitly and checks the implicit
+/// neighbors()/link_slot/degree answers against the materialized CSR rows.
+void expect_implicit_matches_explicit(const Graph& imp) {
+  ASSERT_TRUE(imp.is_implicit());
+  std::vector<Edge> edges;
+  edges.reserve(imp.num_edges());
+  for (EdgeId e = 0; e < imp.num_edges(); ++e) {
+    edges.push_back(imp.edge(e));
+    EXPECT_EQ(edges.back().weight, static_cast<Weight>(e) + 1)
+        << "canonical labelling";
+  }
+  const Graph exp(imp.num_nodes(), std::move(edges));
+  EXPECT_EQ(topo_digest(imp), topo_digest(exp))
+      << "implicit rows must equal the explicit CSR of the same edge set";
+  EXPECT_TRUE(is_connected(imp));
+}
+
+TEST(ImplicitTopology, CompleteMatchesExplicit) {
+  expect_implicit_matches_explicit(Graph::implicit_complete(2));
+  expect_implicit_matches_explicit(Graph::implicit_complete(9));
+  expect_implicit_matches_explicit(Graph::implicit_complete(48));
+  expect_well_formed(Graph::implicit_complete(17));
+}
+
+TEST(ImplicitTopology, RingMatchesExplicit) {
+  expect_implicit_matches_explicit(Graph::implicit_ring(3));
+  expect_implicit_matches_explicit(Graph::implicit_ring(20));
+  expect_well_formed(Graph::implicit_ring(7));
+}
+
+TEST(ImplicitTopology, GridMatchesExplicit) {
+  expect_implicit_matches_explicit(Graph::implicit_grid(1, 2));
+  expect_implicit_matches_explicit(Graph::implicit_grid(6, 7));
+  expect_implicit_matches_explicit(Graph::implicit_grid(5, 1));
+  expect_well_formed(Graph::implicit_grid(4, 4));
+  // Degenerate single-column/row grids: the down neighbor is v + 1, which
+  // must never resolve through the "right" slot (no horizontal edges).
+  expect_well_formed(Graph::implicit_grid(5, 1));
+  expect_well_formed(Graph::implicit_grid(1, 5));
+}
+
+TEST(ImplicitTopology, HypercubeMatchesExplicit) {
+  expect_implicit_matches_explicit(Graph::implicit_hypercube(1));
+  expect_implicit_matches_explicit(Graph::implicit_hypercube(4));
+  expect_implicit_matches_explicit(Graph::implicit_hypercube(6));
+  expect_well_formed(Graph::implicit_hypercube(5));
+}
+
+TEST(ImplicitTopology, LargeCliqueIsO1Storage) {
+  const Graph g = Graph::implicit_complete(16384);
+  EXPECT_EQ(g.num_edges(), 16384u * 16383u / 2);
+  // The whole topology costs bytes, not the ~4.3 GiB of explicit rows.
+  EXPECT_LT(g.topology_bytes(), 1024u);
+  // Spot-check the weight-sorted O(1) rows deep into the id space.
+  const NodeId v = 9999;
+  const NeighborRange row = g.neighbors(v);
+  ASSERT_EQ(row.size(), 16383u);
+  EXPECT_EQ(row[0].to, 0u);
+  EXPECT_EQ(row[9998].to, 9998u);
+  EXPECT_EQ(row[9999].to, 10000u);
+  for (std::uint32_t i : {0u, 1u, 5000u, 9998u, 9999u, 16382u}) {
+    const Neighbor nb = row[i];
+    EXPECT_EQ(g.link_slot(v, nb.edge), static_cast<int>(i));
+    const Edge ed = g.edge(nb.edge);
+    EXPECT_TRUE((ed.u == v && ed.v == nb.to) || (ed.v == v && ed.u == nb.to));
+    EXPECT_EQ(ed.weight, static_cast<Weight>(nb.edge) + 1);
+  }
+}
+
+// ---- zero-copy LocalViews --------------------------------------------------
+
+TEST(LocalViewSubstrate, ViewsWindowTheGraphArenaWithoutCopies) {
+  const Graph g = random_connected(40, 80, 3);
+  sim::RuntimeCore core(g, 3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const sim::LocalView& view = core.view(v);
+    EXPECT_EQ(view.self, v);
+    EXPECT_EQ(view.n, g.num_nodes());
+    // The view's links are the graph's arena rows themselves — same memory,
+    // not a copy — and survive as long as the graph does.
+    EXPECT_EQ(view.links().data(), g.neighbors(v).data());
+    EXPECT_NE(view.links().data(), nullptr);
+    EXPECT_EQ(view.links().size(), g.degree(v));
+    for (std::uint32_t i = 0; i < view.links().size(); ++i) {
+      EXPECT_EQ(view.link_index(view.links()[i].edge), static_cast<int>(i));
+    }
+  }
+}
+
+TEST(LocalViewSubstrate, ImplicitViewsComputeRowsOnTheFly) {
+  const Graph g = Graph::implicit_complete(24);
+  sim::RuntimeCore core(g, 3);
+  const sim::LocalView& view = core.view(7);
+  EXPECT_EQ(view.links().data(), nullptr);  // no arena behind an implicit row
+  EXPECT_EQ(view.degree(), 23u);
+  std::uint32_t count = 0;
+  NodeId expect_to = 0;
+  for (const Neighbor& nb : view.links()) {
+    if (expect_to == 7) ++expect_to;  // rows skip self
+    EXPECT_EQ(nb.to, expect_to++);
+    EXPECT_EQ(view.link_index(nb.edge), static_cast<int>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 23u);
+}
+
+// ---- TopologySpec ----------------------------------------------------------
+
+TEST(TopologySpec, ValidityAndRounding) {
+  EXPECT_TRUE(topology_valid_n(TopoKind::kHypercube, 64));
+  EXPECT_FALSE(topology_valid_n(TopoKind::kHypercube, 65));
+  EXPECT_FALSE(topology_valid_n(TopoKind::kHypercube, 6000));
+  EXPECT_EQ(topology_round_n(TopoKind::kHypercube, 6000), 4096u);
+  EXPECT_TRUE(topology_valid_n(TopoKind::kGrid, 64));
+  EXPECT_FALSE(topology_valid_n(TopoKind::kGrid, 60));
+  EXPECT_EQ(topology_round_n(TopoKind::kGrid, 60), 64u);
+  EXPECT_FALSE(topology_valid_n(TopoKind::kRing, 2));
+  EXPECT_EQ(topology_round_n(TopoKind::kRing, 2), 3u);
+  EXPECT_TRUE(topology_valid_n(TopoKind::kRandom, 1));
+  EXPECT_TRUE(topology_valid_n(TopoKind::kCliqueImplicit, 16384));
+  EXPECT_FALSE(topology_valid_n(TopoKind::kCliqueImplicit, 100000));
+  // The clique cap 92682 is the largest n whose m fits 32 bits; rounding
+  // any larger nominal size must land exactly there, in O(1).
+  EXPECT_TRUE(topology_valid_n(TopoKind::kCliqueImplicit, 92682));
+  EXPECT_FALSE(topology_valid_n(TopoKind::kCliqueImplicit, 92683));
+  EXPECT_EQ(topology_round_n(TopoKind::kCliqueImplicit, 1000000000), 92682u);
+  // Rounding always lands on an admissible size.
+  for (TopoKind kind :
+       {TopoKind::kRandom, TopoKind::kGrid, TopoKind::kRing, TopoKind::kPath,
+        TopoKind::kComplete, TopoKind::kHypercube, TopoKind::kRay,
+        TopoKind::kCliqueImplicit, TopoKind::kGridImplicit}) {
+    for (NodeId n : {1u, 2u, 5u, 48u, 60u, 100u, 4097u}) {
+      EXPECT_TRUE(topology_valid_n(kind, topology_round_n(kind, n)))
+          << topology_name(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(TopologySpec, BuildsEveryKindAtItsRoundedSize) {
+  for (TopoKind kind :
+       {TopoKind::kRandom, TopoKind::kTree, TopoKind::kGrid, TopoKind::kRing,
+        TopoKind::kPath, TopoKind::kComplete, TopoKind::kHypercube,
+        TopoKind::kRay, TopoKind::kCliqueImplicit, TopoKind::kRingImplicit,
+        TopoKind::kGridImplicit, TopoKind::kHypercubeImplicit}) {
+    const NodeId n = topology_round_n(kind, 60);
+    const Graph g = build_topology(TopologySpec{kind, n, 11});
+    EXPECT_EQ(g.num_nodes(), n) << topology_name(kind);
+    EXPECT_TRUE(is_connected(g)) << topology_name(kind);
+  }
+  EXPECT_THROW(build_topology(TopologySpec{TopoKind::kHypercube, 65, 1}),
+               std::invalid_argument);
+}
+
+TEST(TopologySpec, RayDecompositionKeepsTheLowerBoundShape) {
+  // rays = largest divisor of n-1 below sqrt: the diameter stays ~2 sqrt(n),
+  // the regime where the multimedia channel beats pure point-to-point.
+  EXPECT_EQ(ray_count_for(64), 7u);    // 63 = 7 * 9
+  EXPECT_EQ(ray_count_for(257), 16u);  // 256 = 16 * 16
+  const Graph g = build_topology(TopologySpec{TopoKind::kRay, 257, 1});
+  EXPECT_EQ(g.num_nodes(), 257u);
+  EXPECT_EQ(diameter(g), 32u);  // 2 * ray_len = 2 * 16
+}
+
+TEST(TopologySubstrate, RejectsWeightsBeyond32Bits) {
+  EXPECT_THROW(Graph(2, {{0, 1, 0x100000000ull}}), std::invalid_argument);
+  EXPECT_NO_THROW(Graph(2, {{0, 1, 0xFFFFFFFFull}}));
+}
+
+}  // namespace
+}  // namespace mmn

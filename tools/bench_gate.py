@@ -28,9 +28,14 @@ steady state for CI is therefore: download a bench-json artifact from a
 green run on the target runner pool, commit it as the baseline, and from
 then on the gate fails real hot-path regressions on that pool.
 
+Gating is two-sided: throughput counters (slots/s, msgs/s, nodes/s, ...)
+fail when they DROP past the tolerance, memory counters (bytes_per_node on
+the topology/ benches) fail when they GROW past it — the CSR substrate's
+footprint is as load-bearing as its speed.
+
 Refreshing the baseline after an intentional perf change:
   ./build/bench_sim_throughput --json --benchmark_repetitions=3 \
-      --benchmark_filter='channel/resolve|discipline/|sched/|arena/|buckets/'
+      --benchmark_filter='channel/resolve|discipline/|sched/|arena/|buckets/|topology/'
   cp BENCH_sim_throughput.json bench/baseline/
 """
 
@@ -41,14 +46,22 @@ import sys
 
 # Counters that represent throughput (higher is better); the first one
 # present on a benchmark entry is gated.
-THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "items_per_second")
+THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "nodes/s",
+                       "items_per_second")
+
+# Counters where LOWER is better (resident footprints); gated benchmarks
+# carrying one fail when it GROWS past the tolerance.  bytes_per_node is the
+# topology footprint (CSR arena + LocalViews) per node — the zero-copy view
+# layout must not silently regress back to per-node adjacency copies.
+MEMORY_COUNTERS = ("bytes_per_node",)
 
 # arena/ and buckets/ are the hot-path data-layout micro-counters
 # (MessageArena::flip, SlotBuckets::stage): the structures the SoA
 # header/payload split optimizes, gated so the layout cannot silently
-# regress back to payload-copying.
+# regress back to payload-copying.  topology/ gates both the build
+# throughput and the bytes-per-node footprint of the CSR substrate.
 DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/", "arena/",
-                    "buckets/")
+                    "buckets/", "topology/")
 
 
 def load_benchmarks(path):
@@ -92,6 +105,16 @@ def throughput(benches):
     return None, None
 
 
+def memory(benches):
+    """Median lower-is-better memory counter, or (None, None)."""
+    for counter in MEMORY_COUNTERS:
+        values = [float(b[counter]) for b in benches
+                  if isinstance(b.get(counter), (int, float))]
+        if values:
+            return counter, statistics.median(values)
+    return None, None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -114,13 +137,41 @@ def main():
                                              machine_shape(fresh_context))
 
     failures = []
+    mem_failures = []  # machine-independent; fail even when disarmed
     rows = []
     for name, base_bench in sorted(baseline.items()):
         gated = any(name.startswith(p) for p in prefixes)
+        fresh_bench = fresh.get(name)
+
+        # Memory counters gate in the other direction: growth is the
+        # regression.  This check runs first and independently of the
+        # throughput logic below (and its early `continue`s) — bytes are
+        # deterministic, so a memory regression fails the gate even when
+        # the machine shapes differ and the throughput gate is merely
+        # advisory, and a memory-only benchmark is still gated.
+        mem_counter, base_mem = memory(base_bench)
+        if mem_counter is not None:
+            fresh_mem = memory(fresh_bench)[1] if fresh_bench else None
+            if fresh_mem is None:
+                if gated:
+                    mem_failures.append(
+                        "%s: gated %s counter missing from fresh run"
+                        % (name, mem_counter))
+            else:
+                mem_ratio = (fresh_mem / base_mem if base_mem > 0
+                             else float("inf"))
+                rows.append((name, mem_counter, base_mem, fresh_mem,
+                             mem_ratio, gated))
+                if gated and mem_ratio > 1.0 + args.tolerance:
+                    mem_failures.append(
+                        "%s: %s grew %.1f%% (baseline %.3g, fresh %.3g; "
+                        "tolerance %.0f%%)"
+                        % (name, mem_counter, (mem_ratio - 1.0) * 100.0,
+                           base_mem, fresh_mem, args.tolerance * 100.0))
+
         counter, base_value = throughput(base_bench)
         if counter is None:
             continue
-        fresh_bench = fresh.get(name)
         if fresh_bench is None:
             rows.append((name, counter, base_value, None, None, gated))
             if gated:
@@ -181,11 +232,15 @@ def main():
         print("bench-json artifact) to arm the gate, or pass --strict.")
         for failure in failures:
             print("  " + failure)
-        return 0
-    if failures:
+        failures = []
+    if failures or mem_failures:
         print("\nPERF GATE FAILED (tolerance %.0f%%):" % (args.tolerance * 100))
-        for failure in failures:
+        for failure in failures + mem_failures:
             print("  " + failure)
+        if mem_failures:
+            print("\nMemory footprints are machine-independent: "
+                  "bytes_per_node regressions fail even when the throughput "
+                  "gate is disarmed by a machine-shape mismatch.")
         print("\nIf the regression is intentional, refresh the baseline "
               "(see this script's docstring).")
         return 1
