@@ -1,0 +1,147 @@
+// E12 — Roofline check for the per-round message path (google-benchmark).
+//
+// Answers "how far is the flip from the memory wall?" with two row families:
+//   * roofline/stream/copy  — measured machine stream bandwidth: a memcpy
+//                             over buffers several times the LLC, reported
+//                             as a bytes/s counter (source read + destination
+//                             write each counted once).  This is the roof.
+//   * roofline/flip/<n>     — the arena/flip staging + counting-sort load
+//                             (identical to bench_sim_throughput's
+//                             arena/flip rows), instrumented with the
+//                             arena's own traffic counter:
+//                               bytes_per_round   — MessageArena::bytes_moved()
+//                                                   per flip: headers read,
+//                                                   delivery records written,
+//                                                   live payload prefixes
+//                                                   staged.  Deterministic;
+//                                                   the perf gate fails when
+//                                                   it GROWS (payload copies
+//                                                   creeping back in).
+//                               bytes/s           — that traffic over
+//                                                   wall-clock.
+//                               pct_of_stream_bw  — bytes/s against the roof
+//                                                   measured on this very run
+//                                                   (machine-relative, so it
+//                                                   travels across hosts
+//                                                   better than raw rates).
+// The gate (tools/bench_gate.py, prefix roofline/) holds the flip rows
+// two-sided: msgs/s must not drop, bytes_per_round must not grow.
+// `--json` maps to google-benchmark's JSON output, written to
+// BENCH_roofline.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "sim/runtime_core.hpp"
+#include "sim/scheduler.hpp"
+#include "support/simd.hpp"
+
+namespace mmn {
+namespace {
+
+constexpr std::size_t kStreamBytes = 64u << 20;  // 4x any plausible LLC here
+
+/// Best-of-five memcpy bandwidth in bytes/s (reads + writes), measured once
+/// and shared by every flip row's pct_of_stream_bw counter.
+double stream_bandwidth() {
+  static const double bw = [] {
+    std::vector<char> src(kStreamBytes, 1);
+    std::vector<char> dst(kStreamBytes, 0);
+    std::memcpy(dst.data(), src.data(), kStreamBytes);  // warm + page-fault
+    double best = 0.0;
+    for (int pass = 0; pass < 5; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::memcpy(dst.data(), src.data(), kStreamBytes);
+      benchmark::DoNotOptimize(dst.data());
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      best = std::max(best, 2.0 * static_cast<double>(kStreamBytes) / secs);
+    }
+    return best;
+  }();
+  return bw;
+}
+
+void BM_StreamCopy(benchmark::State& state) {
+  std::vector<char> src(kStreamBytes, 1);
+  std::vector<char> dst(kStreamBytes, 0);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), kStreamBytes);
+    benchmark::DoNotOptimize(dst.data());
+    bytes += 2 * kStreamBytes;
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StreamCopy)->Name("roofline/stream/copy");
+
+void BM_FlipRoofline(benchmark::State& state) {
+  // One iteration = staging 4 sends per node across 4 shards and one flip —
+  // byte for byte the arena/flip load in bench_sim_throughput, so msgs/s is
+  // directly comparable between the two files.
+  const auto n = static_cast<NodeId>(state.range(0));
+  constexpr unsigned kShards = 4;
+  constexpr std::uint32_t kSendsPerNode = 4;
+  sim::MessageArena arena;
+  arena.reset(n, kShards);
+  std::vector<sim::ShardBuffer> shards(kShards);
+  std::uint64_t msgs = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    for (unsigned s = 0; s < kShards; ++s) {
+      const auto [first, last] = sim::Scheduler::shard_range(n, s, kShards);
+      for (NodeId v = first; v < last; ++v) {
+        for (std::uint32_t k = 0; k < kSendsPerNode; ++k) {
+          const auto to = static_cast<NodeId>((v + k + 1) % n);
+          shards[s].outbox.push_back(sim::MsgHeader{
+              to, v, EdgeId{v}, shards[s].stage_packet(sim::Packet(
+                           1, {static_cast<sim::Word>(v), sim::Word{7}}))});
+        }
+      }
+    }
+    arena.flip(shards);
+    benchmark::DoNotOptimize(arena.inbox(0).size());
+    msgs += static_cast<std::uint64_t>(n) * kSendsPerNode;
+    ++rounds;
+  }
+  const auto bytes = static_cast<double>(arena.bytes_moved());
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(msgs), benchmark::Counter::kIsRate);
+  state.counters["bytes/s"] = benchmark::Counter(bytes,
+                                                 benchmark::Counter::kIsRate);
+  state.counters["bytes_per_round"] =
+      benchmark::Counter(bytes / static_cast<double>(rounds));
+  // A rate counter scaled by 100/roof: google-benchmark divides by elapsed
+  // wall-clock, so the reported value is (bytes/s) / roof * 100.
+  state.counters["pct_of_stream_bw"] = benchmark::Counter(
+      bytes * 100.0 / stream_bandwidth(), benchmark::Counter::kIsRate);
+  state.SetLabel(simd::level_name(simd::active_level()));
+}
+BENCHMARK(BM_FlipRoofline)->Name("roofline/flip")->Arg(4096)->Arg(16384);
+
+}  // namespace
+}  // namespace mmn
+
+int main(int argc, char** argv) {
+  // Map the repo-wide --json flag onto google-benchmark's JSON writer.
+  std::vector<char*> args;
+  std::string out_flag = "--benchmark_out=BENCH_roofline.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,11 +30,9 @@ StepSpec P2pGlobalProcess::step_spec(std::uint64_t step) const {
 
 void P2pGlobalProcess::step_begin(std::uint64_t step, sim::NodeContext& ctx) {
   switch (step) {
-    case 0: {
-      const sim::Packet flood(kFlood, {static_cast<sim::Word>(view_.self), 0});
-      for (const auto& link : view_.links()) ctx.send(link.edge, flood);
+    case 0:
+      ctx.broadcast(sim::Packet(kFlood, {static_cast<sim::Word>(view_.self), 0}));
       break;
-    }
     case 1:
       if (!is_leader()) {
         MMN_ASSERT(parent_edge_ != kNoEdge, "flood did not reach this node");
@@ -48,8 +46,7 @@ void P2pGlobalProcess::step_begin(std::uint64_t step, sim::NodeContext& ctx) {
       if (is_leader()) {
         have_result_ = true;
         result_ = acc_;
-        const sim::Packet out(kResult, {result_});
-        for (const auto& link : view_.links()) ctx.send(link.edge, out);
+        ctx.broadcast(sim::Packet(kResult, {result_}));
       }
       break;
     default:

@@ -6,8 +6,11 @@ namespace mmn {
 
 CapetanakisResolver::CapetanakisResolver(std::uint64_t id_bound,
                                          std::optional<std::uint64_t> my_id,
-                                         bool massey_skip)
-    : my_id_(my_id), massey_skip_(massey_skip) {
+                                         bool massey_skip,
+                                         bool collect_successes)
+    : my_id_(my_id),
+      massey_skip_(massey_skip),
+      collect_successes_(collect_successes) {
   MMN_REQUIRE(id_bound >= 1, "id space must be non-empty");
   MMN_REQUIRE(!my_id || *my_id < id_bound, "id outside the id space");
   stack_.push_back(Interval{0, id_bound, false});
@@ -40,7 +43,8 @@ void CapetanakisResolver::observe(const sim::SlotObservation& obs,
       }
       break;
     case sim::SlotState::kSuccess:
-      successes_.push_back(obs.payload);
+      ++success_count_;
+      if (collect_successes_) successes_.push_back(obs.payload);
       if (success_was_mine) succeeded_ = true;
       break;
     case sim::SlotState::kCollision: {

@@ -29,8 +29,12 @@ class CapetanakisResolver {
   /// half turns out idle, the right half must still hold >= 2 stations, so
   /// its doomed probe is skipped and it is split immediately.  The resulting
   /// schedule is identical; only the slot count shrinks.
+  /// `collect_successes` controls whether success payloads are recorded in
+  /// successes().  A caller that folds each success as it arrives (watch
+  /// success_count() across observe()) should pass false — the default
+  /// copies every success payload at EVERY listening node.
   CapetanakisResolver(std::uint64_t id_bound, std::optional<std::uint64_t> my_id,
-                      bool massey_skip = false);
+                      bool massey_skip = false, bool collect_successes = true);
 
   /// True if this node must transmit in the upcoming slot.
   bool should_transmit() const;
@@ -55,8 +59,13 @@ class CapetanakisResolver {
   bool succeeded() const { return succeeded_; }
 
   /// Payloads of all success slots, in schedule order (identical at every
-  /// node — the channel is heard by all).
+  /// node — the channel is heard by all).  Empty when constructed with
+  /// collect_successes == false.
   const std::vector<sim::Packet>& successes() const { return successes_; }
+
+  /// Number of success slots observed so far (maintained regardless of
+  /// collect_successes — compare across observe() to fold incrementally).
+  std::uint64_t success_count() const { return success_count_; }
 
  private:
   struct Interval {
@@ -67,7 +76,9 @@ class CapetanakisResolver {
 
   std::optional<std::uint64_t> my_id_;
   bool massey_skip_;
+  bool collect_successes_;
   bool succeeded_ = false;
+  std::uint64_t success_count_ = 0;
   std::vector<Interval> stack_;  // top = back
   std::vector<sim::Packet> successes_;
 };

@@ -7,8 +7,11 @@
 
 namespace mmn {
 
-RandomizedScheduler::RandomizedScheduler(double initial_backlog, bool pending)
-    : backlog_(std::max(1.0, initial_backlog)), pending_(pending) {}
+RandomizedScheduler::RandomizedScheduler(double initial_backlog, bool pending,
+                                         bool collect_successes)
+    : backlog_(std::max(1.0, initial_backlog)),
+      pending_(pending),
+      collect_successes_(collect_successes) {}
 
 bool RandomizedScheduler::should_transmit(Rng& rng) {
   MMN_REQUIRE(!done_, "scheduler already finished");
@@ -31,7 +34,8 @@ void RandomizedScheduler::observe(const sim::SlotObservation& obs,
         backlog_ += 1.0 / (std::exp(1.0) - 2.0);
         break;
       case sim::SlotState::kSuccess:
-        successes_.push_back(obs.payload);
+        ++success_count_;
+        if (collect_successes_) successes_.push_back(obs.payload);
         if (success_was_mine) pending_ = false;
         backlog_ = std::max(1.0, backlog_ - 1.0);
         break;

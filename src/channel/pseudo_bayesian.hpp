@@ -28,7 +28,13 @@ class RandomizedScheduler {
   /// initial_backlog: shared a-priori estimate of the number of stations
   /// (the paper uses the 2*sqrt(n) bound certified by the Las Vegas
   /// partition).  pending: whether this node has a payload to schedule.
-  RandomizedScheduler(double initial_backlog, bool pending);
+  /// collect_successes: whether to record success payloads in successes().
+  /// A caller that folds each success as it arrives (success_count() tells
+  /// it when one did) should pass false — the default copies every success
+  /// payload at EVERY listening node, which dominates the per-round cost of
+  /// the n-node global stages.
+  RandomizedScheduler(double initial_backlog, bool pending,
+                      bool collect_successes = true);
 
   /// Decides transmission for the upcoming slot; must be called exactly once
   /// per slot before observe().  Draws randomness only in contention lanes.
@@ -44,17 +50,24 @@ class RandomizedScheduler {
   /// This station's payload has been transmitted successfully.
   bool succeeded() const { return !pending_; }
 
-  /// Payloads of all success slots in schedule order.
+  /// Payloads of all success slots in schedule order.  Empty when
+  /// constructed with collect_successes == false.
   const std::vector<sim::Packet>& successes() const { return successes_; }
+
+  /// Number of success slots observed so far (maintained regardless of
+  /// collect_successes — compare across observe() to fold incrementally).
+  std::uint64_t success_count() const { return success_count_; }
 
  private:
   bool contention_lane() const { return (slot_parity_ & 1) == 0; }
 
   double backlog_;
   bool pending_;
+  bool collect_successes_;
   bool done_ = false;
   bool transmitting_ = false;  // decision made for the slot in progress
   std::uint64_t slot_parity_ = 0;
+  std::uint64_t success_count_ = 0;
   std::vector<sim::Packet> successes_;
 };
 

@@ -57,13 +57,19 @@ class ComputeStage final : public SteppedProcess {
         break;
       case 2: {
         const bool root = is_root();
+        // collect_successes = false: every one of the n nodes hears every
+        // success slot, and recording the payload at each would copy (and
+        // eventually heap-allocate) n packets per successful root.  The
+        // partials are folded incrementally in on_slot instead.
         if (config_.variant == GlobalFunctionConfig::Variant::kDeterministic) {
-          capetanakis_.emplace(
-              view_.n, root ? std::optional<std::uint64_t>(view_.self)
-                            : std::nullopt);
+          capetanakis_.emplace(view_.n,
+                               root ? std::optional<std::uint64_t>(view_.self)
+                                    : std::nullopt,
+                               /*massey_skip=*/false,
+                               /*collect_successes=*/false);
         } else {
           randomized_.emplace(2.0 * static_cast<double>(isqrt_ceil(view_.n)),
-                              root);
+                              root, /*collect_successes=*/false);
         }
         break;
       }
@@ -110,20 +116,27 @@ class ComputeStage final : public SteppedProcess {
                sim::NodeContext&) override {
     if (slot_step != 2) return;
     const bool mine = obs.success() && obs.writer == view_.self;
+    // Incremental fold: a slot the resolver records as a success (its
+    // success_count advances across observe — the resolvers only count
+    // schedule successes, e.g. the randomized scheduler ignores busy-tone
+    // lanes) contributes its partial immediately.  Same fold order as
+    // replaying successes() at the end, without any node storing them.
+    const std::uint64_t before = capetanakis_ ? capetanakis_->success_count()
+                                              : randomized_->success_count();
     if (capetanakis_) {
       if (!capetanakis_->done()) capetanakis_->observe(obs, mine);
     } else if (!randomized_->done()) {
       randomized_->observe(obs, mine);
     }
-    if (observed_end(2) && !folded_) {
+    const std::uint64_t after = capetanakis_ ? capetanakis_->success_count()
+                                             : randomized_->success_count();
+    if (after != before) {
+      result_ = folded_ ? semigroup_apply(config_.op, result_, obs.payload[0])
+                        : obs.payload[0];
       folded_ = true;
-      const auto& successes =
-          capetanakis_ ? capetanakis_->successes() : randomized_->successes();
-      MMN_ASSERT(!successes.empty(), "no partial results on the channel");
-      result_ = successes.front()[0];
-      for (std::size_t i = 1; i < successes.size(); ++i) {
-        result_ = semigroup_apply(config_.op, result_, successes[i][0]);
-      }
+    }
+    if (observed_end(2)) {
+      MMN_ASSERT(folded_, "no partial results on the channel");
     }
   }
 

@@ -65,8 +65,7 @@ class MstProcess::ComputeStage final : public SteppedProcess {
       return;
     }
     if (step == 1) {
-      const sim::Packet init(kInitFrag, {init_index_});
-      for (const auto& link : view_.links()) ctx.send(link.edge, init);
+      ctx.broadcast(sim::Packet(kInitFrag, {init_index_}));
       if (!is_root()) {
         ctx.send(partition_->tree_parent_edge(), sim::Packet(kHello));
       }

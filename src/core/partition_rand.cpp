@@ -146,8 +146,7 @@ void PartitionRandProcess::begin_commit(sim::NodeContext& ctx) {
     parent_edge_ = wave_parent_edge_;
     ctx.send(parent_edge_, sim::Packet(kAttach));
   }
-  const sim::Packet info(kRootInfo, {static_cast<sim::Word>(root_)});
-  for (const auto& link : view_.links()) ctx.send(link.edge, info);
+  ctx.broadcast(sim::Packet(kRootInfo, {static_cast<sim::Word>(root_)}));
 }
 
 // --- FREEZE ------------------------------------------------------------------
@@ -257,7 +256,8 @@ void LasVegasPartitionProcess::round(sim::NodeContext& ctx) {
       verifying_ = true;
       verifier_ = std::make_unique<RandomizedScheduler>(
           static_cast<double>(max_roots_),
-          inner_->tree_parent() == view_.self);
+          inner_->tree_parent() == view_.self,
+          /*collect_successes=*/false);  // only the count is compared
     }
     return;
   }
@@ -269,7 +269,7 @@ void LasVegasPartitionProcess::round(sim::NodeContext& ctx) {
     const auto& obs = ctx.slot();
     verifier_->observe(obs, obs.success() && obs.writer == view_.self);
     ++verify_slots_;
-    const bool too_many = verifier_->successes().size() > max_roots_;
+    const bool too_many = verifier_->success_count() > max_roots_;
     const bool over_budget = verify_slots_ > slot_budget_;
     if (verifier_->done() || too_many || over_budget) {
       if (verifier_->done() && !too_many) {

@@ -112,6 +112,28 @@ class AsyncContext final {
     ++shard_->p2p_sent;
   }
 
+  /// Sends one packet to every neighbor, staging ONE pooled payload plus
+  /// deg(v) headers that share its ref (interned by commit_async_phase into
+  /// a single refcounted PacketPool slot).  Each neighbor still gets its
+  /// own delay draw, in ascending link order — exactly the RNG consumption
+  /// and header trace of `for (nb : links()) send(nb.edge, packet)`, so
+  /// converting a manual loop is bit-identical.
+  void broadcast(const Packet& packet) {
+    MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
+                "packet exceeds the O(log n) bound");
+    const NeighborRange links = view_->links();
+    const std::size_t deg = links.size();
+    if (deg == 0) return;
+    const PacketRef ref = shard_->stage_packet(packet);
+    for (std::size_t i = 0; i < deg; ++i) {
+      const Neighbor nb = links[i];
+      const std::uint64_t delay = 1 + rng_->next_below(max_delay_ticks_);
+      shard_->async_outbox.push_back(
+          AsyncMsgHeader{now_ + delay, nb.to, view_->self, nb.edge, ref});
+    }
+    shard_->p2p_sent += deg;
+  }
+
   /// Registers a write for the slot currently in progress.  Multiple writes
   /// per slot from one node collapse into one transmission: physically the
   /// node is already holding the medium for this slot.  The dedup slot is

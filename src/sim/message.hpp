@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <initializer_list>
+#include <type_traits>
 
 #include "support/check.hpp"
 
@@ -40,6 +41,15 @@ class Packet {
   std::uint16_t type() const { return type_; }
 
   std::size_t size() const { return size_; }
+
+  /// Bytes of the live prefix: the tag/size word plus size() payload words.
+  /// The staging pools copy exactly this much (see ShardBuffer::stage_packet)
+  /// — the trailing words of a pooled slot are stale bytes from an earlier
+  /// round that no contract-abiding reader ever touches (operator[] is
+  /// bounded by size_, operator== clamps to it).
+  std::size_t live_bytes() const {
+    return sizeof(Word) * (1 + static_cast<std::size_t>(size_));
+  }
 
   Word operator[](std::size_t i) const {
     MMN_DCHECK(i < size_, "packet word index out of range");
@@ -73,5 +83,13 @@ class Packet {
   std::uint8_t size_ = 0;
   std::array<Word, kMaxWords> words_{};
 };
+
+// The live-prefix staging copy (ShardBuffer::stage_packet, PacketPool::
+// acquire) relies on this exact layout: one alignment-padded header word
+// (type_ + size_) followed immediately by the word array, nothing else.
+static_assert(sizeof(Packet) == sizeof(Word) * (1 + Packet::kMaxWords),
+              "Packet layout changed: live-prefix staging copies are wrong");
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "packet pools memcpy Packet prefixes");
 
 }  // namespace mmn::sim

@@ -1,10 +1,20 @@
 #include "sim/runtime_core.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
 
 #include "support/check.hpp"
+#include "support/simd.hpp"
 
 namespace mmn::sim {
+
+// The strided histograms in flip/stage read the `to` field straight out of
+// the packed header arrays; pin the layout they assume.
+static_assert(offsetof(MsgHeader, to) == 0 && sizeof(MsgHeader) == 16,
+              "flip's histogram reads `to` at offset 0, stride 16");
+static_assert(offsetof(StampedHeader, to) == 16 && sizeof(StampedHeader) == 32,
+              "stage's histogram reads `to` at offset 16, stride 32");
 
 std::vector<ShardOutstanding> initial_outstanding(
     const std::vector<char>& flags, unsigned shards) {
@@ -22,11 +32,13 @@ std::vector<ShardOutstanding> initial_outstanding(
 void MessageArena::reset(NodeId n, unsigned shards) {
   n_ = n;
   empty_ = true;
+  bytes_moved_ = 0;
   buf_.clear();
   next_buf_.clear();
   offsets_.assign(n_ + 1, 0);
   next_offsets_.assign(n_ + 1, 0);
   cursor_.assign(n_, 0);
+  scratch_.clear();
   pools_.assign(shards, {});
   next_pools_.assign(shards, {});
 }
@@ -35,19 +47,25 @@ void MessageArena::flip(std::vector<ShardBuffer>& shards) {
   MMN_ASSERT(shards.size() == pools_.size(),
              "arena was reset for a different shard count");
   std::size_t total = 0;
-  for (const ShardBuffer& sb : shards) total += sb.outbox.size();
+  std::uint64_t payload_bytes = 0;
+  for (const ShardBuffer& sb : shards) {
+    total += sb.outbox.size();
+    payload_bytes += sb.pool_bytes;
+  }
   // Message-free rounds (channel-only stages, barrier quiescence) skip the
   // O(n) offset work entirely: after one empty flip both offset buffers are
   // all-zero and both delivery buffers empty, so a second consecutive empty
   // flip is a no-op — every inbox span is already empty, and the shard
-  // pools hold nothing to recycle (payloads only enter through sends).
+  // pools hold nothing live to recycle (payloads only enter through sends,
+  // and every send files a header).
   if (total == 0) {
     if (empty_) return;
     std::fill(next_offsets_.begin(), next_offsets_.end(), 0);
     next_buf_.clear();
     for (unsigned s = 0; s < shards.size(); ++s) {
       shards[s].pool.swap(next_pools_[s]);
-      shards[s].pool.clear();
+      shards[s].pool_used = 0;
+      shards[s].pool_bytes = 0;
     }
     buf_.swap(next_buf_);
     offsets_.swap(next_offsets_);
@@ -56,36 +74,91 @@ void MessageArena::flip(std::vector<ShardBuffer>& shards) {
     return;
   }
   empty_ = false;
-  // Count per destination, over all shards.  Only the 16-byte headers are
-  // touched here; the payloads stay where send() wrote them.
-  std::fill(cursor_.begin(), cursor_.end(), 0);
-  for (const ShardBuffer& sb : shards) {
-    for (const MsgHeader& h : sb.outbox) ++cursor_[h.to];
-  }
-  // Exclusive prefix sums become the per-node spans of the back buffer.
-  next_offsets_[0] = 0;
-  for (NodeId v = 0; v < n_; ++v) {
-    next_offsets_[v + 1] = next_offsets_[v] + cursor_[v];
-    cursor_[v] = next_offsets_[v];
-  }
+  bytes_moved_ +=
+      total * (sizeof(MsgHeader) + sizeof(Received)) + payload_bytes;
   next_buf_.resize(total);
-  // Stable scatter: shards ascend, each outbox in send order — together the
-  // exact serial send order, so inbox contents are scheduler-independent.
-  // Payload pointers resolve into the shard pool; the buffer swap below
-  // transfers ownership of that heap block without moving a byte of it.
+
+  // POOL STABILITY: both paths below hoist sb.pool.data() and resolve every
+  // header against it.  flip runs single-threaded after the round barrier
+  // and calls back into no node code, so no send can grow a pool mid-flip;
+  // the per-header DCHECK makes a stale ref (a header staged against a pool
+  // that was since recycled) fault loudly in debug builds instead of
+  // reading recycled payload memory.
+
+  if (total < n_ / 8) {
+    // Sparse round: far fewer messages than nodes.  The dense path below
+    // pays three O(n) passes over the counters no matter how few headers
+    // there are; here we sort the headers themselves — by destination with
+    // the serial send position as tie-break, i.e. exactly the counting
+    // sort's stable order — and write the monotone offset table in one
+    // pass.  Delivery records are resolved pre-sort because headers from
+    // different shards point into different pools.
+    scratch_.clear();
+    std::uint32_t rank = 0;
+    for (ShardBuffer& sb : shards) {
+      const Packet* pool = sb.pool.data();
+      for (const MsgHeader& h : sb.outbox) {
+        MMN_DCHECK(h.ref < sb.pool_used,
+                   "stale PacketRef: header points past the staged pool");
+        scratch_.push_back(
+            SparseEntry{h.to, rank++, Received{h.from, h.via, pool + h.ref}});
+      }
+    }
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const SparseEntry& a, const SparseEntry& b) {
+                if (a.to != b.to) return a.to < b.to;
+                return a.rank < b.rank;
+              });
+    NodeId next_node = 0;
+    for (std::uint32_t i = 0; i < total; ++i) {
+      const NodeId to = scratch_[i].to;
+      while (next_node <= to) next_offsets_[next_node++] = i;
+      next_buf_[i] = scratch_[i].r;
+    }
+    const auto total32 = static_cast<std::uint32_t>(total);
+    while (next_node <= n_) next_offsets_[next_node++] = total32;
+  } else {
+    // Dense round: histogram destinations over all shards, turn counts into
+    // scatter offsets with an exclusive prefix sum (both through the
+    // runtime-dispatched SIMD kernels), then scatter stably — shards
+    // ascend, each outbox in send order, together the exact serial send
+    // order, so inbox contents are scheduler-independent.  Only the 16-byte
+    // headers move; the buffer swap below transfers ownership of the
+    // payload block without touching a byte of it.
+    std::fill(cursor_.begin(), cursor_.end(), 0);
+    for (const ShardBuffer& sb : shards) {
+      if (sb.outbox.empty()) continue;
+      simd::histogram_u32_strided(sb.outbox.data(), sizeof(MsgHeader),
+                                  sb.outbox.size(), cursor_.data());
+    }
+    [[maybe_unused]] const std::uint32_t counted =
+        simd::exclusive_prefix_sum_u32(cursor_.data(), n_);
+    MMN_DCHECK(counted == total, "histogram lost headers");
+    std::memcpy(next_offsets_.data(), cursor_.data(),
+                n_ * sizeof(std::uint32_t));
+    next_offsets_[n_] = static_cast<std::uint32_t>(total);
+    for (ShardBuffer& sb : shards) {
+      const Packet* pool = sb.pool.data();
+      for (const MsgHeader& h : sb.outbox) {
+        MMN_DCHECK(h.ref < sb.pool_used,
+                   "stale PacketRef: header points past the staged pool");
+        next_buf_[cursor_[h.to]++] = Received{h.from, h.via, pool + h.ref};
+      }
+    }
+  }
+
   for (unsigned s = 0; s < shards.size(); ++s) {
     ShardBuffer& sb = shards[s];
-    const Packet* pool = sb.pool.data();
-    for (const MsgHeader& h : sb.outbox) {
-      next_buf_[cursor_[h.to]++] = Received{h.from, h.via, pool + h.ref};
-    }
     sb.outbox.clear();
     // Recycle: the freshly staged payload buffer moves into next_pools_ (it
     // backs next_buf_, the round about to run); the shard gets the buffer
-    // from two flips ago back — no longer referenced — cleared but with its
-    // capacity intact, so steady-state staging never allocates.
+    // from two flips ago back — no longer referenced — with its slots held
+    // at the high-water mark (pool_used rewinds to 0; the stale contents
+    // are overwritten live-prefix-first by the next round's staging), so
+    // steady-state staging never allocates or zero-fills.
     sb.pool.swap(next_pools_[s]);
-    sb.pool.clear();
+    sb.pool_used = 0;
+    sb.pool_bytes = 0;
   }
   buf_.swap(next_buf_);
   offsets_.swap(next_offsets_);
@@ -103,47 +176,87 @@ void SlotBuckets::reset(NodeId n, std::uint64_t ticks_per_slot,
   ring_.assign(ring_slots, {});
   staged_.clear();
   offsets_.assign(n_ + 1, 0);
+  cursor_.assign(n_, 0);
   pool_.reset();
 }
 
-void SlotBuckets::push(const AsyncMsgHeader& send, const Packet& payload) {
+PacketRef SlotBuckets::push(const AsyncMsgHeader& send, const Packet& payload) {
   MMN_DCHECK(send.due_tick >= 1, "delivery tick predates the first slot");
+  const PacketRef pooled = pool_.acquire(payload);
   const std::uint64_t due_slot = (send.due_tick - 1) / ticks_per_slot_;
-  ring_[due_slot % ring_.size()].push_back(
-      StampedHeader{send.due_tick, next_seq_++, send.to, send.from, send.via,
-                    pool_.acquire(payload)});
+  ring_[due_slot % ring_.size()].push_back(StampedHeader{
+      send.due_tick, next_seq_++, send.to, send.from, send.via, pooled});
+  ++in_flight_;
+  return pooled;
+}
+
+void SlotBuckets::push_shared(const AsyncMsgHeader& send, PacketRef pooled) {
+  MMN_DCHECK(send.due_tick >= 1, "delivery tick predates the first slot");
+  pool_.add_ref(pooled);
+  const std::uint64_t due_slot = (send.due_tick - 1) / ticks_per_slot_;
+  ring_[due_slot % ring_.size()].push_back(StampedHeader{
+      send.due_tick, next_seq_++, send.to, send.from, send.via, pooled});
   ++in_flight_;
 }
 
 std::size_t SlotBuckets::stage(std::uint64_t slot) {
   // The previous table's payloads were consumed by the delivery sub-round
-  // that read it; their slots go back to the free list before the headers
-  // are dropped.
+  // that read it; each header drops its reader — an interned broadcast
+  // slot frees only when the LAST sharing header releases it.
   for (const StampedHeader& h : staged_) pool_.release(h.ref);
   std::vector<StampedHeader>& bucket = ring_[slot % ring_.size()];
   staged_.clear();
-  staged_.swap(bucket);  // the bucket keeps staged_'s old capacity
   // Every slot's delivery loop ends on an empty stage; skip the O(n)
   // offsets rebuild for it (inbox() is never consulted on a zero return).
-  if (staged_.empty()) return 0;
-  // Group by destination, each destination ascending (tick, seq).  seq is
-  // unique, so the order is total and scheduler-independent.  Only 32-byte
-  // headers move through the sort; payloads stay in the pool.
-  std::sort(staged_.begin(), staged_.end(),
-            [](const StampedHeader& a, const StampedHeader& b) {
-              if (a.to != b.to) return a.to < b.to;
-              if (a.tick != b.tick) return a.tick < b.tick;
-              return a.seq < b.seq;
-            });
-  std::fill(offsets_.begin(), offsets_.end(), 0);
-  for (const StampedHeader& m : staged_) {
-    MMN_DCHECK((m.tick - 1) / ticks_per_slot_ == slot,
-               "bucket ring too small for the delay bound");
-    ++offsets_[m.to + 1];
+  if (bucket.empty()) return 0;
+  const std::size_t m = bucket.size();
+  // Radix partition by destination: histogram + exclusive prefix sum
+  // (runtime-dispatched SIMD kernels) and a stable scatter.  Bucket order
+  // is ascending seq — seqs are stamped at push in commit order — so each
+  // destination's run lands already seq-sorted; only runs longer than one
+  // message still need a (tick, seq) sort, and those are short.  The table
+  // is identical to a global sort by (to, tick, seq): seq is unique, so
+  // the order is total and scheduler-independent.  Only 32-byte headers
+  // move; payloads stay in the pool.
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+  simd::histogram_u32_strided(
+      reinterpret_cast<const char*>(bucket.data()) + offsetof(StampedHeader, to),
+      sizeof(StampedHeader), m, cursor_.data());
+  [[maybe_unused]] const std::uint32_t counted =
+      simd::exclusive_prefix_sum_u32(cursor_.data(), n_);
+  MMN_DCHECK(counted == m, "histogram lost headers");
+  std::memcpy(offsets_.data(), cursor_.data(), n_ * sizeof(std::uint32_t));
+  offsets_[n_] = static_cast<std::uint32_t>(m);
+  // Explicit doubling: resize on a cleared vector grows to exactly m (no
+  // geometric overshoot), which would turn every new per-slot peak into a
+  // steady-state allocation.
+  if (staged_.capacity() < m) {
+    staged_.reserve(std::max(m, staged_.capacity() * 2));
   }
-  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
-  in_flight_ -= staged_.size();
-  return staged_.size();
+  staged_.resize(m);
+  for (const StampedHeader& h : bucket) {
+    MMN_DCHECK((h.tick - 1) / ticks_per_slot_ == slot,
+               "bucket ring too small for the delay bound");
+    staged_[cursor_[h.to]++] = h;
+  }
+  bucket.clear();  // keeps its high-water capacity
+  std::size_t i = 0;
+  while (i < m) {
+    const NodeId to = staged_[i].to;
+    std::size_t j = i + 1;
+    while (j < m && staged_[j].to == to) ++j;
+    if (j - i > 1) {
+      std::sort(staged_.begin() + static_cast<std::ptrdiff_t>(i),
+                staged_.begin() + static_cast<std::ptrdiff_t>(j),
+                [](const StampedHeader& a, const StampedHeader& b) {
+                  if (a.tick != b.tick) return a.tick < b.tick;
+                  return a.seq < b.seq;
+                });
+    }
+    i = j;
+  }
+  in_flight_ -= m;
+  return m;
 }
 
 RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
@@ -193,12 +306,25 @@ void RuntimeCore::run_round(Scheduler::NodeFn fn) {
 }
 
 void RuntimeCore::commit_async_phase() {
+  constexpr PacketRef kNoRef = static_cast<PacketRef>(-1);
   for (ShardBuffer& sb : shards_) {
     for (ChannelWrite& w : sb.channel_writes) {
       slot_writes_.push_back(std::move(w));
     }
+    // Broadcast interning: AsyncContext::broadcast stages ONE payload
+    // shared by a run of consecutive headers.  Shard refs are unique per
+    // stage_packet call, so a repeated ref can only be such a run — the
+    // first header files the payload into the bucket pool, the rest share
+    // its refcounted slot.
+    PacketRef prev_src = kNoRef;
+    PacketRef prev_pooled = 0;
     for (const AsyncMsgHeader& send : sb.async_outbox) {
-      slot_buckets_.push(send, sb.pool[send.ref]);
+      if (send.ref == prev_src) {
+        slot_buckets_.push_shared(send, prev_pooled);
+      } else {
+        prev_pooled = slot_buckets_.push(send, sb.pool[send.ref]);
+        prev_src = send.ref;
+      }
     }
     metrics_.p2p_messages += sb.p2p_sent;
     sb.clear_round();

@@ -13,7 +13,11 @@
 // asynchronous path) carrying a PacketRef index into a packet pool; the
 // per-round counting sort in MessageArena::flip and the bucket drain in
 // SlotBuckets::stage move 16–32-byte headers while the 80-byte payloads
-// stay put.  Pools and ring buckets are recycled at their high-water-mark
+// stay put.  The count/prefix passes of both run through the runtime-
+// dispatched kernels in support/simd.hpp (AVX2 on capable hosts, scalar
+// reference otherwise, pinnable via MMN_FORCE_SCALAR); broadcast() interns
+// one pooled payload behind deg(v) headers instead of staging deg(v)
+// copies.  Pools and ring buckets are recycled at their high-water-mark
 // capacity, so a warmed-up run performs zero heap allocations per round.
 // Determinism is unchanged: shards are contiguous ascending node ranges,
 // so concatenating their header buffers in shard order reproduces the
@@ -23,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <span>
@@ -113,21 +118,42 @@ struct AsyncMsgHeader {
 struct alignas(64) ShardBuffer {
   std::vector<MsgHeader> outbox;
   std::vector<AsyncMsgHeader> async_outbox;
-  std::vector<Packet> pool;  ///< payloads behind outbox/async_outbox refs
+  /// Payload slots behind outbox/async_outbox refs.  Lean staging: the
+  /// vector is held at its high-water SIZE (not just capacity) and
+  /// `pool_used` tracks the live prefix, so stage_packet never
+  /// default-constructs (and so never zero-fills) a slot in steady state —
+  /// it memcpys only the packet's live prefix over whatever stale words the
+  /// slot held two rounds ago.  Contract-abiding readers never see the
+  /// stale tail (Packet::live_bytes()).
+  std::vector<Packet> pool;
+  std::uint32_t pool_used = 0;    ///< slots staged this round
+  std::uint64_t pool_bytes = 0;   ///< live payload bytes staged this round
   std::vector<ChannelWrite> channel_writes;
   std::uint64_t p2p_sent = 0;
 
-  /// Files one payload in the shard's pool and returns its ref.
+  /// Files one payload in the shard's pool and returns its ref.  Only the
+  /// live prefix is copied; slots are appended only past the high-water
+  /// mark, so a warmed-up round stages without allocating or zero-filling.
+  /// (A fixed-size copy rounded up to 32/72 bytes was tried and measured
+  /// slower than the variable-length live-prefix memcpy — glibc's
+  /// small-copy dispatch beats the extra stores.)
   PacketRef stage_packet(const Packet& packet) {
-    const PacketRef ref = static_cast<PacketRef>(pool.size());
-    pool.push_back(packet);
+    const PacketRef ref = pool_used;
+    if (pool_used == pool.size()) [[unlikely]] {
+      pool.emplace_back();
+    }
+    const std::size_t bytes = packet.live_bytes();
+    std::memcpy(&pool[pool_used], &packet, bytes);
+    pool_bytes += bytes;
+    ++pool_used;
     return ref;
   }
 
   void clear_round() {
     outbox.clear();
     async_outbox.clear();
-    pool.clear();
+    pool_used = 0;   // slots stay allocated at the high-water mark
+    pool_bytes = 0;
     channel_writes.clear();
     p2p_sent = 0;
   }
@@ -230,6 +256,36 @@ class NodeContext final {
     sent_message_ = true;
   }
 
+  /// Sends one packet to every neighbor (ascending link order — exactly the
+  /// trace of `for (nb : links()) send(nb.edge, packet)`), staging ONE
+  /// pooled payload plus deg(v) headers that share its ref instead of
+  /// deg(v) payload copies.  Sharing needs no refcount here: the flip
+  /// recycles each round's pool wholesale, so every header of the round —
+  /// shared or not — expires with the pool two flips later.
+  void broadcast(const Packet& packet) {
+    if (shard_ == nullptr) [[unlikely]] {
+      // Sink path (busy-tone synchronizer): per-link sends, so the shim's
+      // ack accounting sees every message individually.
+      for (const Neighbor& nb : view_->links()) {
+        sink_.send(sink_.self, nb.edge, packet);
+        sent_message_ = true;
+      }
+      return;
+    }
+    MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
+                "packet exceeds the O(log n) bound");
+    const NeighborRange links = view_->links();
+    const std::size_t deg = links.size();
+    if (deg == 0) return;
+    const PacketRef ref = shard_->stage_packet(packet);
+    for (std::size_t i = 0; i < deg; ++i) {
+      const Neighbor nb = links[i];
+      shard_->outbox.push_back(MsgHeader{nb.to, view_->self, nb.edge, ref});
+    }
+    shard_->p2p_sent += deg;
+    sent_message_ = true;
+  }
+
   /// Writes to the channel slot of the current round (at most once).
   void channel_write(const Packet& packet) {
     MMN_REQUIRE(!wrote_channel_, "at most one channel write per node per slot");
@@ -278,9 +334,12 @@ class Process {
 using ProcessFactory = std::function<std::unique_ptr<Process>(const LocalView&)>;
 
 /// Fixed-capacity recycling payload store for in-flight asynchronous
-/// messages: acquire() files a packet under a stable PacketRef, release()
-/// returns the slot to the free list.  Slots are only appended when the free
-/// list is empty, so a warmed-up pool sits at its high-water mark and never
+/// messages: acquire() files a packet under a stable PacketRef with
+/// refcount 1, add_ref() lets further headers share the slot (an interned
+/// broadcast payload is one slot referenced by deg(v) headers), and
+/// release() decrements — the slot returns to the free list only when the
+/// LAST reader lets go.  Slots are only appended when the free list is
+/// empty, so a warmed-up pool sits at its high-water mark and never
 /// allocates again.  Refs stay valid across the backing vector's growth
 /// (they are indices, not pointers); at(ref) pointers are only materialized
 /// transiently, between mutations.
@@ -288,29 +347,52 @@ class PacketPool {
  public:
   void reset() {
     slots_.clear();
+    refs_.clear();
     free_.clear();
   }
 
   PacketRef acquire(const Packet& packet) {
+    PacketRef ref;
     if (!free_.empty()) {
-      const PacketRef ref = free_.back();
+      ref = free_.back();
       free_.pop_back();
-      slots_[ref] = packet;
-      return ref;
+    } else {
+      slots_.emplace_back();
+      refs_.push_back(0);
+      ref = static_cast<PacketRef>(slots_.size() - 1);
     }
-    slots_.push_back(packet);
-    return static_cast<PacketRef>(slots_.size() - 1);
+    // Lean copy, like ShardBuffer::stage_packet: live prefix only; the
+    // slot's stale tail is never read by contract-abiding code.
+    std::memcpy(&slots_[ref], &packet, packet.live_bytes());
+    refs_[ref] = 1;
+    return ref;
   }
 
-  void release(PacketRef ref) { free_.push_back(ref); }
+  /// One more header now shares the slot.
+  void add_ref(PacketRef ref) {
+    MMN_DCHECK(ref < refs_.size() && refs_[ref] > 0,
+               "add_ref on a slot that is not live");
+    ++refs_[ref];
+  }
+
+  void release(PacketRef ref) {
+    MMN_DCHECK(ref < refs_.size() && refs_[ref] > 0,
+               "release on a slot that is not live");
+    if (--refs_[ref] == 0) free_.push_back(ref);
+  }
 
   const Packet& at(PacketRef ref) const { return slots_[ref]; }
+
+  /// Live readers of a slot (0 = free).  Test hook for the interning
+  /// lifetime suite.
+  std::uint32_t ref_count(PacketRef ref) const { return refs_[ref]; }
 
   /// High-water mark: every slot ever acquired (free or live).
   std::size_t capacity() const { return slots_.size(); }
 
  private:
   std::vector<Packet> slots_;
+  std::vector<std::uint32_t> refs_;  ///< per-slot reader count
   std::vector<PacketRef> free_;
 };
 
@@ -320,6 +402,20 @@ class PacketPool {
 /// pools by buffer swap, so payloads are written once at send time and never
 /// copied again; the pools rotate through a two-deep recycle queue and are
 /// handed back to the shards with their capacity intact.
+///
+/// The counting sort runs on one of three paths, picked per flip:
+///  * empty      — O(1) short-circuit for message-free rounds;
+///  * sparse     — when the round carries far fewer messages than nodes,
+///                 the headers are sorted directly (by destination, original
+///                 order as tie-break — i.e. stably) and the offset table is
+///                 written in one monotone pass, skipping the dense
+///                 count/prefix/cursor passes over all n counters;
+///  * dense      — histogram + exclusive prefix sum through the
+///                 support/simd.hpp kernels (AVX2 when the host has it,
+///                 scalar reference otherwise), then a stable scalar
+///                 scatter.
+/// All three produce bit-identical delivery tables: the scatter order is
+/// always ascending (destination, serial send position).
 class MessageArena {
  public:
   void reset(NodeId n, unsigned shards);
@@ -333,14 +429,31 @@ class MessageArena {
   /// into the back buffer, recycles the shard pools, and flips buffers.
   void flip(std::vector<ShardBuffer>& shards);
 
+  /// Cumulative bytes the flips moved: headers read + delivery records
+  /// written + live payload bytes staged by the flipped rounds.  The
+  /// roofline bench divides this by rounds and by wall-clock to report the
+  /// hot path's traffic against measured machine bandwidth.
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
  private:
+  /// One sparse-path entry: the destination and stable rank as sort key
+  /// plus the fully resolved delivery record (headers from different shards
+  /// resolve into different pools, so the pointer must be bound pre-sort).
+  struct SparseEntry {
+    NodeId to;
+    std::uint32_t rank;  ///< serial send position (stable tie-break)
+    Received r;
+  };
+
   NodeId n_ = 0;
   bool empty_ = true;  // both delivery buffers empty, both offset sets zero
+  std::uint64_t bytes_moved_ = 0;
   std::vector<Received> buf_;       // delivered this round
   std::vector<Received> next_buf_;  // being filled for next round
   std::vector<std::uint32_t> offsets_;       // n_ + 1 spans into buf_
   std::vector<std::uint32_t> next_offsets_;  // n_ + 1 spans into next_buf_
   std::vector<std::uint32_t> cursor_;        // scatter cursors, n_
+  std::vector<SparseEntry> scratch_;         // sparse-path sort buffer
   std::vector<std::vector<Packet>> pools_;   // per shard, backing buf_
   std::vector<std::vector<Packet>> next_pools_;  // recycled next flip
 };
@@ -381,14 +494,30 @@ class SlotBuckets {
   void reset(NodeId n, std::uint64_t ticks_per_slot, std::uint64_t ring_slots);
 
   /// Stamps one committed send with the next serial-order seq, files its
-  /// payload in the pool, and files the header under its delivery slot.
-  /// Call in ascending shard order only.
-  void push(const AsyncMsgHeader& send, const Packet& payload);
+  /// payload in the pool (refcount 1), and files the header under its
+  /// delivery slot.  Call in ascending shard order only.  Returns the pool
+  /// ref so a run of sends sharing one staged payload (a broadcast) can
+  /// intern it via push_shared.
+  PacketRef push(const AsyncMsgHeader& send, const Packet& payload);
+
+  /// Like push, but instead of filing a new payload the header shares
+  /// `pooled` — the ref a preceding push() of the same commit returned.
+  /// Bumps the slot's refcount; the slot frees when the last sharing
+  /// header's delivery releases it.
+  void push_shared(const AsyncMsgHeader& send, PacketRef pooled);
 
   /// Drains every message due in `slot` into the delivery table; returns the
   /// number of messages staged.  Messages pushed after this call land in a
   /// fresh bucket, so calling again stages only the intra-slot cascades.
   /// The previous table's payloads are released back to the pool.
+  ///
+  /// The per-slot sort is a radix partition: a histogram + prefix sum over
+  /// destinations (support/simd.hpp kernels), a stable scatter — bucket
+  /// order is ascending seq, so each destination's run lands seq-sorted —
+  /// and a small per-run sort by (tick, seq) only where a run holds more
+  /// than one message.  Identical table to the old global
+  /// sort-by-(to, tick, seq), without moving every header through an
+  /// O(m log m) comparison sort.
   std::size_t stage(std::uint64_t slot);
 
   /// Messages staged for `v` by the last stage() call, ascending (tick, seq).
@@ -404,6 +533,10 @@ class SlotBuckets {
   /// Total messages filed but not yet staged for delivery.
   std::size_t in_flight() const { return in_flight_; }
 
+  /// The payload pool (test hook: the interning lifetime suite reads
+  /// refcounts and the high-water capacity through it).
+  const PacketPool& pool() const { return pool_; }
+
  private:
   NodeId n_ = 0;
   std::uint64_t ticks_per_slot_ = 1;
@@ -412,6 +545,7 @@ class SlotBuckets {
   std::vector<std::vector<StampedHeader>> ring_;  ///< bucket = slot % size
   std::vector<StampedHeader> staged_;  ///< last staged slot, (to, tick, seq)
   std::vector<std::uint32_t> offsets_;  ///< n_ + 1 spans into staged_
+  std::vector<std::uint32_t> cursor_;   ///< radix scatter cursors, n_
   PacketPool pool_;                     ///< payloads, commit -> delivery
 };
 

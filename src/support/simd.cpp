@@ -1,0 +1,171 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MMN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace mmn::simd {
+namespace {
+
+// -1 = no override; otherwise the Level value pinned by set_level_override.
+std::atomic<int> g_override{-1};
+
+Level detect() {
+#ifdef MMN_FORCE_SCALAR_BUILD
+  return Level::kScalar;
+#else
+  if (const char* env = std::getenv("MMN_FORCE_SCALAR");
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    return Level::kScalar;
+  }
+#ifdef MMN_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+#endif
+}
+
+// --- scalar reference paths -------------------------------------------------
+
+void histogram_scalar(const void* base, std::size_t stride_bytes,
+                      std::size_t count, std::uint32_t* hist) {
+  const char* p = static_cast<const char*>(base);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t key;
+    std::memcpy(&key, p, sizeof(key));
+    ++hist[key];
+    p += stride_bytes;
+  }
+}
+
+std::uint32_t prefix_scalar(std::uint32_t* values, std::size_t n) {
+  std::uint32_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = values[i];
+    values[i] = running;
+    running += c;
+  }
+  return running;
+}
+
+// --- AVX2 paths -------------------------------------------------------------
+//
+// Compiled with a per-function target attribute so the translation unit
+// stays baseline x86-64; the functions are only ever called after
+// __builtin_cpu_supports("avx2") said yes.
+
+#ifdef MMN_SIMD_X86
+
+__attribute__((target("avx2"))) void histogram_avx2(const void* base,
+                                                    std::size_t stride_bytes,
+                                                    std::size_t count,
+                                                    std::uint32_t* hist) {
+  // Keys are gathered 8 at a time (the vectorizable half of a histogram);
+  // the increments stay scalar — pre-AVX-512CD there is no conflict-safe
+  // scatter, and duplicate keys in one batch are the common case here.
+  const int* words = static_cast<const int*>(base);
+  const auto stride_words = static_cast<int>(stride_bytes / sizeof(int));
+  __m256i idx = _mm256_setr_epi32(0, stride_words, 2 * stride_words,
+                                  3 * stride_words, 4 * stride_words,
+                                  5 * stride_words, 6 * stride_words,
+                                  7 * stride_words);
+  const __m256i step = _mm256_set1_epi32(8 * stride_words);
+  alignas(32) std::uint32_t keys[8];
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i k = _mm256_i32gather_epi32(words, idx, 4);
+    idx = _mm256_add_epi32(idx, step);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(keys), k);
+    ++hist[keys[0]];
+    ++hist[keys[1]];
+    ++hist[keys[2]];
+    ++hist[keys[3]];
+    ++hist[keys[4]];
+    ++hist[keys[5]];
+    ++hist[keys[6]];
+    ++hist[keys[7]];
+  }
+  if (i < count) {
+    histogram_scalar(static_cast<const char*>(base) + i * stride_bytes,
+                     stride_bytes, count - i, hist);
+  }
+}
+
+__attribute__((target("avx2"))) std::uint32_t prefix_avx2(std::uint32_t* values,
+                                                          std::size_t n) {
+  // Per 8-lane chunk: inclusive scan inside each 128-bit lane (two
+  // shift-adds), propagate the low lane's total into the high lane, rotate
+  // one lane right with a zero in lane 0 to make it exclusive, add the
+  // running carry, and fold the chunk total into the carry.
+  const __m256i rot_right = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint32_t carry = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    __m256i s = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    s = _mm256_add_epi32(s, _mm256_slli_si256(s, 8));
+    const __m256i low_total = _mm256_permutevar8x32_epi32(s, _mm256_set1_epi32(3));
+    s = _mm256_add_epi32(s, _mm256_blend_epi32(zero, low_total, 0xF0));
+    __m256i ex = _mm256_permutevar8x32_epi32(s, rot_right);
+    ex = _mm256_blend_epi32(ex, zero, 0x01);
+    ex = _mm256_add_epi32(ex, _mm256_set1_epi32(static_cast<int>(carry)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(values + i), ex);
+    carry += static_cast<std::uint32_t>(_mm256_extract_epi32(s, 7));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t c = values[i];
+    values[i] = carry;
+    carry += c;
+  }
+  return carry;
+}
+
+#endif  // MMN_SIMD_X86
+
+}  // namespace
+
+Level active_level() {
+  const int pinned = g_override.load(std::memory_order_relaxed);
+  if (pinned >= 0) return static_cast<Level>(pinned);
+  static const Level detected = detect();
+  return detected;
+}
+
+const char* level_name(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+void set_level_override(Level level) {
+  g_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_level_override() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+void histogram_u32_strided(const void* base, std::size_t stride_bytes,
+                           std::size_t count, std::uint32_t* hist) {
+#ifdef MMN_SIMD_X86
+  if (active_level() == Level::kAvx2) {
+    histogram_avx2(base, stride_bytes, count, hist);
+    return;
+  }
+#endif
+  histogram_scalar(base, stride_bytes, count, hist);
+}
+
+std::uint32_t exclusive_prefix_sum_u32(std::uint32_t* values, std::size_t n) {
+#ifdef MMN_SIMD_X86
+  if (active_level() == Level::kAvx2) return prefix_avx2(values, n);
+#endif
+  return prefix_scalar(values, n);
+}
+
+}  // namespace mmn::simd

@@ -1,0 +1,61 @@
+// Runtime-dispatched SIMD kernels for the per-round message hot path.
+//
+// MessageArena::flip and SlotBuckets::stage both reduce to the same two
+// primitives — a histogram over the `to` field of a packed header array and
+// an exclusive prefix sum turning counts into scatter offsets.  Both live
+// here with two implementations each: a portable scalar loop (the reference
+// semantics, always compiled, always available) and an AVX2 path (gathered
+// key extraction, vectorized in-register scan) selected at runtime via
+// __builtin_cpu_supports, so one binary runs correctly on any x86-64 and
+// fast on AVX2 hosts.  Non-x86 builds compile the scalar path only.
+//
+// The dispatch is overridable in three layers, strongest first:
+//  * set_level_override() — tests pin a path programmatically (the
+//    scalar-vs-SIMD digest pin in test_scheduler_equiv);
+//  * MMN_FORCE_SCALAR (environment, any value but "0") — CI legs run the
+//    whole suite on the reference path without a rebuild;
+//  * MMN_FORCE_SCALAR_BUILD (compile definition, set by the CMake option
+//    MMN_FORCE_SCALAR) — pins scalar at build time, e.g. for a host whose
+//    feature detection is untrustworthy.
+//
+// Determinism: both paths produce bit-identical outputs — a histogram and a
+// prefix sum have exactly one right answer, and the callers keep their
+// scatter loops scalar and stable — so switching levels can never reorder a
+// delivery.  The digest pin holds the kernels to that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmn::simd {
+
+enum class Level : int {
+  kScalar = 0,  ///< portable reference loops
+  kAvx2 = 1,    ///< AVX2 gathers + in-register scans (x86-64 only)
+};
+
+/// The dispatch level the kernels use right now: the programmatic override
+/// if one is set, else the cached detection (build pin > env pin > cpuid).
+Level active_level();
+
+/// Human-readable name ("scalar" / "avx2") for logs and bench labels.
+const char* level_name(Level level);
+
+/// Pins every kernel to `level` until clear_level_override().  Test-only:
+/// call from a single thread with no engine mid-round.  Forcing kAvx2 on a
+/// host without AVX2 is a programming error (the kernels would fault).
+void set_level_override(Level level);
+void clear_level_override();
+
+/// hist[key] += 1 for each of the `count` u32 keys at
+/// base, base + stride_bytes, base + 2*stride_bytes, ...
+/// Every key must be a valid index into hist (callers bound keys by n).
+/// `base` must be 4-byte aligned; stride_bytes a multiple of 4.
+void histogram_u32_strided(const void* base, std::size_t stride_bytes,
+                           std::size_t count, std::uint32_t* hist);
+
+/// In-place exclusive prefix sum over values[0, n); returns the total.
+/// values[i] becomes values[0] + ... + values[i-1] (0 for i == 0).
+std::uint32_t exclusive_prefix_sum_u32(std::uint32_t* values, std::size_t n);
+
+}  // namespace mmn::simd

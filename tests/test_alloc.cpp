@@ -2,7 +2,11 @@
 // structure — the arena's header buffers, the recycled packet pools, the
 // slot-bucket ring, the shard staging vectors, the discipline's slot state —
 // sits at its high-water-mark capacity, so a steady-traffic run performs no
-// heap allocation per round.  This file instruments the global operator new
+// heap allocation per round.  The traffic alternates per-link sends and
+// broadcast() each round/slot, so the guarantee covers the interned-payload
+// path (one pooled payload behind deg(v) headers, refcounted on the async
+// side) as well as the copying path.  This file instruments the global
+// operator new
 // (it links into its own test binary; the counter covers every allocation in
 // the process, from any thread) and asserts the count stays zero across a
 // post-warm-up window on both engines, serial and 4-thread.
@@ -78,16 +82,22 @@ constexpr std::uint64_t kWarmupRounds = 64;
 constexpr std::uint64_t kMeasuredRounds = 256;
 
 /// Steady synchronous traffic: every node messages all neighbors every
-/// round, every third node contends for the channel, and the inbox is read
-/// word by word.  Never finishes — the test drives it with step().
+/// round — alternating per-link sends and broadcast() by round parity, so
+/// the zero-allocation window covers both staging paths (deg payload
+/// copies vs one interned payload) — every third node contends for the
+/// channel, and the inbox is read word by word.  Never finishes — the test
+/// drives it with step().
 class ChatterProcess final : public Process {
  public:
   explicit ChatterProcess(const LocalView& view) : view_(view) {}
 
   void round(NodeContext& ctx) override {
-    for (const Neighbor& nb : view_.links()) {
-      ctx.send(nb.edge, Packet(1, {static_cast<Word>(ctx.round() & 0xFF),
-                                   static_cast<Word>(view_.self)}));
+    const Packet p(1, {static_cast<Word>(ctx.round() & 0xFF),
+                       static_cast<Word>(view_.self)});
+    if (ctx.round() % 2 == 0) {
+      ctx.broadcast(p);
+    } else {
+      for (const Neighbor& nb : view_.links()) ctx.send(nb.edge, p);
     }
     if (view_.self % 3 == 0) {
       ctx.channel_write(Packet(2, {static_cast<Word>(view_.self)}));
@@ -103,8 +113,11 @@ class ChatterProcess final : public Process {
 };
 
 /// Steady asynchronous traffic: every slot boundary re-sends to all
-/// neighbors and contends for the channel; deliveries are read and fuel
-/// no further cascades (the per-slot volume stays constant).
+/// neighbors — alternating broadcast() and per-link sends by slot parity,
+/// so the window covers both the interned (push + push_shared refcounted
+/// pool slot) and the copying commit path — and contends for the channel;
+/// deliveries are read and fuel no further cascades (the per-slot volume
+/// stays constant).
 class AsyncChatterProcess final : public AsyncProcess {
  public:
   explicit AsyncChatterProcess(const LocalView& view) : view_(view) {}
@@ -126,8 +139,11 @@ class AsyncChatterProcess final : public AsyncProcess {
 
  private:
   void blast(AsyncContext& ctx) {
-    for (const Neighbor& nb : view_.links()) {
-      ctx.send(nb.edge, Packet(1, {static_cast<Word>(view_.self)}));
+    const Packet p(1, {static_cast<Word>(view_.self)});
+    if (ctx.slot_index() % 2 == 0) {
+      ctx.broadcast(p);
+    } else {
+      for (const Neighbor& nb : view_.links()) ctx.send(nb.edge, p);
     }
   }
 

@@ -1,0 +1,292 @@
+// Payload interning: broadcast() stages ONE pooled payload behind deg(v)
+// headers instead of deg(v) copies, on both engines.
+//
+// The synchronous path needs no refcounts — the flip recycles each round's
+// pool wholesale, so every header of a round expires with the pool two flips
+// later.  The asynchronous path does: payloads live in a refcounted
+// PacketPool from commit to delivery, an interned broadcast slot is shared
+// by deg(v) stamped headers, and the slot frees only when the LAST sharing
+// header's delivery releases it.  This suite pins both lifetimes, the
+// refcount mechanics, and — at engine level — that converting a manual
+// per-link send loop to broadcast() is bit-identical (same headers, same
+// RNG consumption, same metrics, same per-node delivery traces, under
+// serial and parallel schedulers).
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/engine.hpp"
+#include "sim/runtime_core.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mmn::sim {
+namespace {
+
+// --- PacketPool refcount mechanics ----------------------------------------
+
+TEST(PayloadInterning, PacketPoolRefcountLifecycle) {
+  PacketPool pool;
+  const PacketRef a = pool.acquire(Packet(1, {42}));
+  EXPECT_EQ(pool.ref_count(a), 1u);
+  EXPECT_EQ(pool.capacity(), 1u);
+  EXPECT_EQ(pool.at(a)[0], 42);
+
+  pool.add_ref(a);
+  pool.add_ref(a);
+  EXPECT_EQ(pool.ref_count(a), 3u);
+
+  pool.release(a);
+  pool.release(a);
+  EXPECT_EQ(pool.ref_count(a), 1u);  // still live: two of three readers gone
+  EXPECT_EQ(pool.at(a)[0], 42);
+
+  pool.release(a);
+  EXPECT_EQ(pool.ref_count(a), 0u);  // last reader frees the slot
+
+  // The freed slot is reused before the pool grows: high-water capacity.
+  const PacketRef b = pool.acquire(Packet(2, {7}));
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.capacity(), 1u);
+  EXPECT_EQ(pool.ref_count(b), 1u);
+  EXPECT_EQ(pool.at(b).type(), 2);
+  EXPECT_EQ(pool.at(b)[0], 7);
+
+  // A second live payload does grow the pool — slots are never shared
+  // across distinct acquires.
+  const PacketRef c = pool.acquire(Packet(3, {9}));
+  EXPECT_NE(c, b);
+  EXPECT_EQ(pool.capacity(), 2u);
+}
+
+// --- synchronous staging: one pooled payload per broadcast -----------------
+
+TEST(PayloadInterning, SyncBroadcastStagesOnePayloadManyHeaders) {
+  const Graph g = complete(5, 3);
+  const LocalView view{0, 5, &g};
+  Rng rng(1);
+  const SlotObservation slot{};
+
+  // broadcast(): one pool slot, deg(v) headers sharing its ref.
+  ShardBuffer bcast;
+  NodeContext bctx(view, rng, {}, slot, 0, bcast);
+  bctx.broadcast(Packet(9, {5, 6}));
+  ASSERT_EQ(bcast.outbox.size(), 4u);
+  EXPECT_EQ(bcast.pool_used, 1u);
+  EXPECT_EQ(bcast.p2p_sent, 4u);
+  for (const MsgHeader& h : bcast.outbox) {
+    EXPECT_EQ(h.ref, 0u);
+    EXPECT_EQ(h.from, 0u);
+  }
+
+  // The manual loop stages deg(v) copies — same headers except the refs.
+  ShardBuffer loop;
+  NodeContext lctx(view, rng, {}, slot, 0, loop);
+  for (const Neighbor& nb : view.links()) {
+    lctx.send(nb.edge, Packet(9, {5, 6}));
+  }
+  ASSERT_EQ(loop.outbox.size(), 4u);
+  EXPECT_EQ(loop.pool_used, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(bcast.outbox[i].to, loop.outbox[i].to) << i;
+    EXPECT_EQ(bcast.outbox[i].via, loop.outbox[i].via) << i;
+    EXPECT_EQ(loop.outbox[i].ref, static_cast<PacketRef>(i)) << i;
+  }
+}
+
+TEST(PayloadInterning, FlipDeliversOneSharedPayloadToAllNeighbors) {
+  const Graph g = complete(5, 3);
+  const LocalView view{0, 5, &g};
+  Rng rng(1);
+  const SlotObservation slot{};
+  MessageArena arena;
+  arena.reset(5, 1);
+  std::vector<ShardBuffer> shards(1);
+  {
+    NodeContext ctx(view, rng, {}, slot, 0, shards[0]);
+    ctx.broadcast(Packet(9, {5, 6}));
+  }
+  arena.flip(shards);
+
+  // Every neighbor received exactly one message, and all four delivery
+  // records point at the SAME pooled Packet object — the interned slot.
+  const Packet* shared = nullptr;
+  for (NodeId v = 1; v < 5; ++v) {
+    const auto inbox = arena.inbox(v);
+    ASSERT_EQ(inbox.size(), 1u) << "node " << v;
+    const Received& r = inbox[0];
+    EXPECT_EQ(r.from, 0u);
+    EXPECT_EQ(r.packet().type(), 9);
+    EXPECT_EQ(r.packet()[0], 5);
+    EXPECT_EQ(r.packet()[1], 6);
+    if (shared == nullptr) {
+      shared = r.pkt;
+    } else {
+      EXPECT_EQ(r.pkt, shared) << "node " << v << " got a payload copy";
+    }
+  }
+  EXPECT_TRUE(arena.inbox(0).empty());
+}
+
+// --- asynchronous lifetime: commit -> delivery -> release ------------------
+
+TEST(PayloadInterning, SlotBucketsSharedSlotLivesUntilNextStage) {
+  SlotBuckets buckets;
+  buckets.reset(/*n=*/8, /*ticks_per_slot=*/16, /*ring_slots=*/4);
+
+  // One broadcast committed as push + deg-1 push_shared: due ticks 5/6/7
+  // all fall into slot 0.
+  const PacketRef pooled =
+      buckets.push(AsyncMsgHeader{5, 1, 0, EdgeId{0}, 0}, Packet(3, {11}));
+  buckets.push_shared(AsyncMsgHeader{6, 2, 0, EdgeId{1}, 0}, pooled);
+  buckets.push_shared(AsyncMsgHeader{7, 3, 0, EdgeId{2}, 0}, pooled);
+  EXPECT_EQ(buckets.pool().ref_count(pooled), 3u);
+  EXPECT_EQ(buckets.pool().capacity(), 1u);  // ONE slot for three headers
+  EXPECT_EQ(buckets.in_flight(), 3u);
+
+  // Staging the slot moves only headers; the staged table keeps all three
+  // refs alive — deliveries read the payload through them.
+  ASSERT_EQ(buckets.stage(0), 3u);
+  EXPECT_EQ(buckets.in_flight(), 0u);
+  EXPECT_EQ(buckets.pool().ref_count(pooled), 3u);
+  for (NodeId v = 1; v <= 3; ++v) {
+    const auto inbox = buckets.inbox(v);
+    ASSERT_EQ(inbox.size(), 1u) << "node " << v;
+    EXPECT_EQ(inbox[0].ref, pooled);
+    EXPECT_EQ(buckets.payload(inbox[0].ref).type(), 3);
+    EXPECT_EQ(buckets.payload(inbox[0].ref)[0], 11);
+  }
+
+  // The NEXT stage retires the table: each header drops its reader and the
+  // interned slot frees on the last one.
+  EXPECT_EQ(buckets.stage(1), 0u);
+  EXPECT_EQ(buckets.pool().ref_count(pooled), 0u);
+
+  // Warm pool: a later commit reuses the freed slot, capacity stays 1.
+  const PacketRef again =
+      buckets.push(AsyncMsgHeader{33, 4, 0, EdgeId{3}, 0}, Packet(4, {12}));
+  EXPECT_EQ(again, pooled);
+  EXPECT_EQ(buckets.pool().capacity(), 1u);
+}
+
+// --- engine-level equivalence: broadcast() == manual per-link loop ---------
+
+using DeliveryTrace = std::vector<std::tuple<NodeId, EdgeId, Word>>;
+
+/// Round 0: cast a node-specific packet to every neighbor (by loop or by
+/// broadcast); rounds 0..2: record every delivery (sender, link, first word).
+template <bool kUseBroadcast>
+class SyncCaster final : public Process {
+ public:
+  explicit SyncCaster(const LocalView& view) : view_(view) {}
+
+  void round(NodeContext& ctx) override {
+    if (ctx.round() == 0) {
+      const Packet p(7, {static_cast<Word>(view_.self * 3 + 1)});
+      if constexpr (kUseBroadcast) {
+        ctx.broadcast(p);
+      } else {
+        for (const Neighbor& nb : view_.links()) ctx.send(nb.edge, p);
+      }
+    }
+    for (const Received& r : ctx.inbox()) {
+      trace_.emplace_back(r.from, r.via, r.packet()[0]);
+    }
+    done_ = ctx.round() >= 2;
+  }
+
+  bool finished() const override { return done_; }
+
+  const LocalView& view_;
+  DeliveryTrace trace_;
+  bool done_ = false;
+};
+
+TEST(PayloadInterning, SyncBroadcastBitIdenticalToManualLoop) {
+  const Graph g = random_connected(64, 128, 17);
+  const auto loop_factory = [](const LocalView& v) {
+    return std::make_unique<SyncCaster<false>>(v);
+  };
+  const auto bcast_factory = [](const LocalView& v) {
+    return std::make_unique<SyncCaster<true>>(v);
+  };
+  for (unsigned threads : {1u, 4u}) {
+    auto sched = [&]() -> std::unique_ptr<Scheduler> {
+      return threads <= 1 ? nullptr : make_scheduler(threads);
+    };
+    Engine loop(g, loop_factory, 17, sched());
+    loop.run(100);
+    Engine bcast(g, bcast_factory, 17, sched());
+    bcast.run(100);
+    EXPECT_TRUE(loop.metrics() == bcast.metrics()) << threads << " threads";
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& a = static_cast<const SyncCaster<false>&>(loop.process(v));
+      const auto& b = static_cast<const SyncCaster<true>&>(bcast.process(v));
+      EXPECT_EQ(a.trace_, b.trace_) << "node " << v << ", " << threads;
+    }
+  }
+}
+
+/// start(): cast to every neighbor (by loop or broadcast).  The async
+/// broadcast draws each neighbor's delay in ascending link order — the
+/// exact RNG consumption of the manual loop — so traces must match bit
+/// for bit, delivery times included.
+template <bool kUseBroadcast>
+class AsyncCaster final : public AsyncProcess {
+ public:
+  explicit AsyncCaster(const LocalView& view) : view_(view) {}
+
+  void start(AsyncContext& ctx) override {
+    const Packet p(8, {static_cast<Word>(view_.self + 100)});
+    if constexpr (kUseBroadcast) {
+      ctx.broadcast(p);
+    } else {
+      for (const Neighbor& nb : view_.links()) ctx.send(nb.edge, p);
+    }
+  }
+
+  void on_message(const Received& msg, AsyncContext&) override {
+    trace_.emplace_back(msg.from, msg.via, msg.packet()[0]);
+  }
+
+  void on_slot(const SlotObservation&, AsyncContext&) override { ++slots_; }
+
+  bool finished() const override { return slots_ >= 4; }
+
+  const LocalView& view_;
+  DeliveryTrace trace_;
+  std::uint64_t slots_ = 0;
+};
+
+TEST(PayloadInterning, AsyncBroadcastBitIdenticalToManualLoop) {
+  const Graph g = random_connected(64, 128, 19);
+  const auto loop_factory = [](const LocalView& v) {
+    return std::make_unique<AsyncCaster<false>>(v);
+  };
+  const auto bcast_factory = [](const LocalView& v) {
+    return std::make_unique<AsyncCaster<true>>(v);
+  };
+  for (unsigned threads : {1u, 4u}) {
+    auto sched = [&]() -> std::unique_ptr<Scheduler> {
+      return threads <= 1 ? nullptr : make_scheduler(threads);
+    };
+    AsyncEngine loop(g, loop_factory, 19, /*max_delay_slots=*/3, sched());
+    loop.run(10'000);
+    ASSERT_EQ(loop.status(), AsyncEngine::RunStatus::kCompleted);
+    AsyncEngine bcast(g, bcast_factory, 19, /*max_delay_slots=*/3, sched());
+    bcast.run(10'000);
+    ASSERT_EQ(bcast.status(), AsyncEngine::RunStatus::kCompleted);
+    EXPECT_TRUE(loop.metrics() == bcast.metrics()) << threads << " threads";
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& a = static_cast<const AsyncCaster<false>&>(loop.process(v));
+      const auto& b = static_cast<const AsyncCaster<true>&>(bcast.process(v));
+      EXPECT_EQ(a.trace_, b.trace_) << "node " << v << ", " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmn::sim

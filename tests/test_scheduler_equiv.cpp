@@ -25,6 +25,7 @@
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
+#include "support/simd.hpp"
 
 namespace mmn {
 namespace {
@@ -63,6 +64,56 @@ TEST(SchedulerEquivalence, AllScenariosMatchSerialAcrossThreadCounts) {
           << s.name << " with " << threads
           << " threads: per-node results diverged";
     }
+  }
+}
+
+// --- SIMD dispatch equivalence -------------------------------------------
+//
+// The flip/stage counting sorts dispatch between a scalar reference path and
+// an AVX2 path (support/simd.hpp).  A histogram and an exclusive prefix sum
+// have exactly one right answer and the scatter loops stay scalar and
+// stable, so the two paths must be BIT-identical — not merely statistically
+// equivalent.  This pin runs every registered scenario on both dispatch
+// levels, serial and 4-thread, and requires identical Metrics and per-node
+// digests.  (kScalar is always safe to force; the detected level is
+// whatever this host actually runs, so on an AVX2 machine this compares the
+// vector kernels against the reference, and on any other machine it is a
+// cheap self-check.)
+
+TEST(SchedulerEquivalence, ScalarAndSimdDispatchBitIdentical) {
+  scenario::register_builtin();
+  struct OverrideGuard {
+    ~OverrideGuard() { simd::clear_level_override(); }
+  } guard;
+  for (const scenario::Scenario& s : scenario::Registry::instance().all()) {
+    const NodeId n = s.sweep_n.front();
+
+    simd::set_level_override(simd::Level::kScalar);
+    const scenario::RunResult scalar_serial =
+        scenario::run(s, n, s.default_seed);
+    const scenario::RunResult scalar_par =
+        scenario::run(s, n, s.default_seed, sim::make_scheduler(4));
+
+    simd::clear_level_override();  // back to the detected level
+    const scenario::RunResult native_serial =
+        scenario::run(s, n, s.default_seed);
+    const scenario::RunResult native_par =
+        scenario::run(s, n, s.default_seed, sim::make_scheduler(4));
+
+    EXPECT_TRUE(scalar_serial.metrics == native_serial.metrics)
+        << s.name << ": serial metrics diverged across dispatch levels\n"
+        << "scalar: " << scalar_serial.metrics.to_string() << "\n"
+        << "native: " << native_serial.metrics.to_string();
+    EXPECT_EQ(scalar_serial.digest, native_serial.digest)
+        << s.name << ": serial per-node results diverged across dispatch";
+    EXPECT_TRUE(scalar_par.metrics == native_par.metrics)
+        << s.name << ": 4-thread metrics diverged across dispatch levels\n"
+        << "scalar: " << scalar_par.metrics.to_string() << "\n"
+        << "native: " << native_par.metrics.to_string();
+    EXPECT_EQ(scalar_par.digest, native_par.digest)
+        << s.name << ": 4-thread per-node results diverged across dispatch";
+    // And the two levels agree with each other across schedulers too.
+    EXPECT_EQ(scalar_serial.digest, scalar_par.digest) << s.name;
   }
 }
 

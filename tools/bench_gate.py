@@ -45,23 +45,32 @@ import statistics
 import sys
 
 # Counters that represent throughput (higher is better); the first one
-# present on a benchmark entry is gated.
+# present on a benchmark entry is gated.  bytes/s is last: the roofline
+# rows carry both msgs/s and bytes/s, and the message rate is the primary
+# gate there (bytes/s alone gates the stream-bandwidth rows).
 THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "nodes/s",
-                       "items_per_second")
+                       "items_per_second", "bytes/s")
 
-# Counters where LOWER is better (resident footprints); gated benchmarks
-# carrying one fail when it GROWS past the tolerance.  bytes_per_node is the
-# topology footprint (CSR arena + LocalViews) per node — the zero-copy view
-# layout must not silently regress back to per-node adjacency copies.
-MEMORY_COUNTERS = ("bytes_per_node",)
+# Counters where LOWER is better (resident footprints / traffic volumes);
+# gated benchmarks carrying one fail when it GROWS past the tolerance.
+# bytes_per_node is the topology footprint (CSR arena + LocalViews) per
+# node — the zero-copy view layout must not silently regress back to
+# per-node adjacency copies.  bytes_per_round is the roofline rows' flip
+# traffic (headers + delivery records + live payload prefixes, from
+# MessageArena::bytes_moved()) — deterministic, so growth means the hot
+# path started moving more data per round (e.g. payload copies crept back
+# in), not that the machine got slower.
+MEMORY_COUNTERS = ("bytes_per_node", "bytes_per_round")
 
 # arena/ and buckets/ are the hot-path data-layout micro-counters
 # (MessageArena::flip, SlotBuckets::stage): the structures the SoA
 # header/payload split optimizes, gated so the layout cannot silently
 # regress back to payload-copying.  topology/ gates both the build
 # throughput and the bytes-per-node footprint of the CSR substrate.
+# roofline/ gates the flip rows two-sided — msgs/s must not drop,
+# bytes_per_round must not grow.
 DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/", "arena/",
-                    "buckets/", "topology/")
+                    "buckets/", "topology/", "roofline/")
 
 
 def load_benchmarks(path):
@@ -238,8 +247,8 @@ def main():
         for failure in failures + mem_failures:
             print("  " + failure)
         if mem_failures:
-            print("\nMemory footprints are machine-independent: "
-                  "bytes_per_node regressions fail even when the throughput "
+            print("\nByte counts are machine-independent: bytes_per_node / "
+                  "bytes_per_round regressions fail even when the throughput "
                   "gate is disarmed by a machine-shape mismatch.")
         print("\nIf the regression is intentional, refresh the baseline "
               "(see this script's docstring).")
