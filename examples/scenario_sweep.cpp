@@ -12,10 +12,14 @@
 //   $ ./example_scenario_sweep 8               # 8-thread parallel scheduler
 //   $ ./example_scenario_sweep --n=65536 --scenario=global/min/rand/ring
 //   $ ./example_scenario_sweep 4 --n=16384 --scenario=global/sum/bcast/iclique
+//   $ ./example_scenario_sweep --scenario=load/poisson/resv/ring --load=0.9
 //
 // --n is STRICT: a size the topology family does not admit (a non-power-of-
 // two hypercube, a non-square grid) exits non-zero instead of silently
 // clamping — sweep automation must never report a different n than asked.
+// --load is equally strict: it only applies to load-capable scenarios (the
+// open-loop load/ family), and selecting it with anything else exits
+// non-zero instead of silently running the scenario at no load.
 //
 // CI diffs the serial and parallel tables row by row, so a malformed
 // registry entry must fail the sweep loudly instead of being skipped:
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
   using namespace mmn;
   unsigned threads = 1;
   NodeId requested_n = 0;  // 0 = each scenario's smallest sweep size
+  double load = 0.0;       // 0 = each load scenario's default_load
   std::string only;        // empty = every scenario
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -99,6 +104,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       requested_n = static_cast<NodeId>(n);
+    } else if (std::strncmp(arg, "--load=", 7) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const double parsed = std::strtod(arg + 7, &end);
+      if (end == arg + 7 || *end != '\0' || errno == ERANGE ||
+          !(parsed > 0.0) || parsed > 64.0) {
+        std::fprintf(stderr, "bad --load value: %s\n", arg + 7);
+        return 2;
+      }
+      load = parsed;
     } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
       only = arg + 11;
     } else {
@@ -106,7 +121,8 @@ int main(int argc, char** argv) {
       const long parsed = std::strtol(arg, &end, 10);
       if (end == arg || *end != '\0' || parsed < 1 || parsed > 256) {
         std::fprintf(stderr,
-                     "usage: %s [threads: 1..256] [--n=N] [--scenario=NAME]\n",
+                     "usage: %s [threads: 1..256] [--n=N] [--load=L] "
+                     "[--scenario=NAME]\n",
                      argv[0]);
         return 2;
       }
@@ -138,6 +154,20 @@ int main(int argc, char** argv) {
     }
     if (!ok) return 1;
   }
+  // --load only means something to load-capable scenarios; running a
+  // closed-loop protocol "at load 0.7" would silently ignore the flag.
+  if (load > 0.0) {
+    bool ok = true;
+    for (const auto& s : scenarios) {
+      if (!only.empty() && s.name != only) continue;
+      if (!s.make_load_factory) {
+        std::fprintf(stderr, "%s is not load-capable; --load needs the "
+                     "open-loop load/ scenarios\n", s.name.c_str());
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+  }
 
   std::size_t selected = 0;
   for (const auto& s : scenarios) selected += only.empty() || s.name == only;
@@ -151,20 +181,25 @@ int main(int argc, char** argv) {
     const NodeId n = requested_n != 0 ? requested_n : s.sweep_n.front();
     const scenario::RunResult r = scenario::run(
         s, n, s.default_seed,
-        threads > 1 ? sim::make_scheduler(threads) : nullptr);
+        threads > 1 ? sim::make_scheduler(threads) : nullptr,
+        scenario::EngineKind::kSync, load);
     print_row(s, "", r);
   }
-  // Channel-free workloads also run on the asynchronous engine (through the
-  // busy-tone synchronizer); rounds are channel slots there.
+  // The asynchronous engine runs channel-free workloads (through the
+  // busy-tone synchronizer) and the open-loop load scenarios (natively, no
+  // synchronizer); rounds are channel slots there.
   for (const auto& s : scenarios) {
-    if (!s.channel_free) continue;
+    if (!s.channel_free && !s.make_async_load_factory) continue;
     if (!only.empty() && s.name != only) continue;
     const NodeId n = requested_n != 0 ? requested_n : s.sweep_n.front();
     const scenario::RunResult r = scenario::run(
         s, n, s.default_seed,
         threads > 1 ? sim::make_scheduler(threads) : nullptr,
-        scenario::EngineKind::kAsync);
-    if (!r.completed) {
+        scenario::EngineKind::kAsync, load);
+    // Synchronizer-path protocols must terminate; an open-loop run capped
+    // mid-livelock (free-for-all past saturation) is a valid, deterministic
+    // row — the backlog is the result.
+    if (!r.completed && !s.make_async_load_factory) {
       std::fprintf(stderr, "%s@async hit the slot cap without terminating\n",
                    s.name.c_str());
       return 1;

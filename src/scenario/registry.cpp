@@ -9,6 +9,7 @@
 #include "baselines/p2p_global.hpp"
 #include "core/anonymous.hpp"
 #include "core/global_function.hpp"
+#include "core/openloop.hpp"
 #include "core/mst.hpp"
 #include "core/partition_det.hpp"
 #include "core/partition_rand.hpp"
@@ -46,14 +47,25 @@ Graph make_scenario_graph(const Scenario& s, NodeId n, std::uint64_t seed) {
 }
 
 RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
-              std::unique_ptr<sim::Scheduler> scheduler, EngineKind engine) {
+              std::unique_ptr<sim::Scheduler> scheduler, EngineKind engine,
+              double load) {
+  MMN_REQUIRE(load == 0.0 || s.make_load_factory != nullptr,
+              "scenario is not load-capable (no make_load_factory)");
   const Graph g = make_scenario_graph(s, n, seed);
   RunResult result;
   result.realized_n = g.num_nodes();
+  // The run seed also feeds the discipline's own lottery stream (the
+  // stabilized-Aloha kinds; the others ignore it — see make_discipline).
+  const double offered = load > 0.0 ? load : s.default_load;
   if (engine == EngineKind::kSync) {
-    sim::Engine eng(g, s.make_factory(g), seed, std::move(scheduler),
-                    sim::make_discipline(s.discipline));
-    result.metrics = eng.run(s.max_rounds);
+    sim::Engine eng(g,
+                    s.make_load_factory ? s.make_load_factory(g, offered)
+                                        : s.make_factory(g),
+                    seed, std::move(scheduler),
+                    sim::make_discipline(s.discipline, sim::UnslottedConfig{},
+                                         seed));
+    result.completed = eng.step(s.max_rounds);
+    result.metrics = eng.metrics();
     if (s.digest) {
       result.digest = s.digest(NodeResults{
           g.num_nodes(),
@@ -61,11 +73,32 @@ RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
     }
     return result;
   }
+  if (s.make_async_load_factory) {
+    // Native asynchronous open-loop path: the stations are AsyncProcesses
+    // driven by the AsyncEngine directly, no synchronizer in between —
+    // deferring disciplines are fine because open-loop stations never read
+    // an idle slot as information.
+    sim::AsyncEngine eng(g, s.make_async_load_factory(g, offered), seed,
+                         s.async_max_delay_slots, std::move(scheduler),
+                         sim::make_discipline(s.discipline,
+                                              sim::UnslottedConfig{}, seed));
+    result.metrics = eng.run(s.max_rounds);
+    result.completed =
+        eng.status() == sim::AsyncEngine::RunStatus::kCompleted;
+    if (s.digest) {
+      result.digest = s.digest(NodeResults{
+          g.num_nodes(), nullptr,
+          [&eng](NodeId v) -> const sim::AsyncProcess& {
+            return eng.process(v);
+          }});
+    }
+    return result;
+  }
   MMN_REQUIRE(s.channel_free,
               "scenario uses the channel and cannot run under the "
               "synchronizer on the asynchronous engine");
   std::unique_ptr<sim::ChannelDiscipline> discipline =
-      sim::make_discipline(s.discipline);
+      sim::make_discipline(s.discipline, sim::UnslottedConfig{}, seed);
   MMN_REQUIRE(!discipline->defers(),
               "a deferring discipline would falsify the synchronizer's "
               "idle-slot pulses on the asynchronous engine");
@@ -96,6 +129,21 @@ std::uint64_t fold_nodes(const NodeResults& results, PerNode&& per_node) {
     h = digest_mix(h, per_node(results.at(v), v));
   }
   return h;
+}
+
+/// Engine-generic open-loop digest: side-casts whichever process handle the
+/// run produced to the shared OpenLoopStats surface.  (Sync and async runs
+/// digest to different values — the gossip fold sees each engine's own
+/// delivery order — but each is bit-stable across schedulers and dispatch
+/// levels, which is what the equivalence suites compare.)
+std::uint64_t load_digest(const NodeResults& results) {
+  return open_loop_digest(
+      results.n, [&results](NodeId v) -> const OpenLoopStats& {
+        if (results.at) {
+          return dynamic_cast<const OpenLoopStats&>(results.at(v));
+        }
+        return dynamic_cast<const OpenLoopStats&>(results.at_async(v));
+      });
 }
 
 std::uint64_t fragment_digest(const NodeResults& results) {
@@ -553,6 +601,75 @@ void register_all() {
     iclique_size.discipline = sim::DisciplineKind::kUnslotted;
     r.add(std::move(iclique_size));
   }
+
+  // ---- open-loop load family (core/openloop.hpp) -------------------------
+  //
+  // Load-capable scenarios: every entry carries make_load_factory (so
+  // scenario_sweep --load= and bench_load_sweep can rebuild the stations at
+  // any offered load) plus the native-async variant, and its plain
+  // make_factory runs the stations at default_load for the legacy sweeps
+  // and the equivalence suites.  The free-for-all entry livelocks past
+  // saturation by design — two simultaneously backlogged stations
+  // re-collide every slot forever.  Its synchronous runs cut off right
+  // after the horizon (a non-deferring discipline holds no backlog the
+  // engine could see) and its native-async runs burn to the slot cap with
+  // completed == false; both cutoffs are deterministic, and the standing
+  // backlog is the result — the load-sweep story's baseline curve.
+
+  const auto add_load = [&r](std::string name, std::string desc,
+                             TopoKind topo, sim::ArrivalKind arrivals,
+                             double default_load, sim::DisciplineKind disc,
+                             std::vector<NodeId> sweep) {
+    OpenLoopConfig base;
+    base.arrivals = arrivals;
+    base.horizon = 1200;
+    Scenario s;
+    s.name = std::move(name);
+    s.description = std::move(desc);
+    s.topology = topo;
+    s.make_factory = [base, default_load](const Graph&) {
+      OpenLoopConfig c = base;
+      c.offered = default_load;
+      return make_open_loop_factory(c);
+    };
+    s.digest = load_digest;
+    s.sweep_n = std::move(sweep);
+    s.max_rounds = base.horizon * 8 + 4096;  // generation + drain window
+    s.discipline = disc;
+    s.default_load = default_load;
+    s.make_load_factory = [base](const Graph&, double load) {
+      OpenLoopConfig c = base;
+      c.offered = load;
+      return make_open_loop_factory(c);
+    };
+    s.make_async_load_factory = [base](const Graph&, double load) {
+      OpenLoopConfig c = base;
+      c.offered = load;
+      return make_open_loop_async_factory(c);
+    };
+    r.add(std::move(s));
+  };
+
+  add_load("load/poisson/ffa/ring",
+           "Open-loop Poisson QoS stations on the bare collision channel",
+           TopoKind::kRing, sim::ArrivalKind::kPoisson, 0.6,
+           sim::DisciplineKind::kFreeForAll, {64, 128});
+  add_load("load/poisson/pb/ring",
+           "Open-loop Poisson stations under pseudo-Bayesian stabilization",
+           TopoKind::kRing, sim::ArrivalKind::kPoisson, 0.3,
+           sim::DisciplineKind::kPseudoBayesian, {64, 128});
+  add_load("load/poisson/resv/ring",
+           "Open-loop Poisson stations under the reservation multimedia MAC",
+           TopoKind::kRing, sim::ArrivalKind::kPoisson, 0.8,
+           sim::DisciplineKind::kReservation, {64, 128});
+  add_load("load/onoff/resv/grid",
+           "Bursty on-off stations under the reservation MAC on a grid",
+           TopoKind::kGrid, sim::ArrivalKind::kOnOff, 0.7,
+           sim::DisciplineKind::kReservation, {64, 256});
+  add_load("load/poisson/pb/iclique",
+           "Saturated Poisson stations, stabilized Aloha on an implicit clique",
+           TopoKind::kCliqueImplicit, sim::ArrivalKind::kPoisson, 0.9,
+           sim::DisciplineKind::kPseudoBayesian, {64, 128});
 }
 
 }  // namespace

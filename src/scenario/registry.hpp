@@ -26,6 +26,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
 #include "support/metrics.hpp"
 
@@ -44,6 +45,10 @@ enum class EngineKind : std::uint8_t {
 struct NodeResults {
   NodeId n = 0;
   std::function<const sim::Process&(NodeId)> at;
+  /// Set instead of `at` on native-asynchronous runs (the open-loop load
+  /// scenarios, which run AsyncProcesses without the synchronizer); digest
+  /// implementations that support both engines side-cast whichever is set.
+  std::function<const sim::AsyncProcess&(NodeId)> at_async = nullptr;
 };
 
 struct Scenario {
@@ -80,15 +85,36 @@ struct Scenario {
   /// Medium-access policy the run executes under
   /// (sim/channel_discipline.hpp).  Asynchronous runs go through the
   /// busy-tone synchronizer, whose idle-slot pulses a deferring discipline
-  /// would falsify — run() rejects kTdma/kCapetanakis there.
+  /// would falsify — run() rejects kTdma/kCapetanakis there.  (Load
+  /// scenarios bypass the synchronizer entirely; see below.)
   sim::DisciplineKind discipline = sim::DisciplineKind::kFreeForAll;
+
+  /// Open-loop load knobs (core/openloop.hpp).  A scenario with
+  /// make_load_factory set is load-capable: run() rebuilds its stations at
+  /// the caller's offered load (scenario_sweep --load=, bench_load_sweep),
+  /// falling back to default_load when the caller passes 0.
+  double default_load = 0.0;
+  std::function<sim::ProcessFactory(const Graph& g, double load)>
+      make_load_factory = nullptr;
+
+  /// Native asynchronous variant of a load workload.  When set,
+  /// EngineKind::kAsync drives these AsyncProcesses on the AsyncEngine
+  /// directly — no synchronizer, so deferring disciplines are allowed
+  /// (open-loop stations read nothing into idle slots; the channel_free
+  /// requirement applies only to the synchronizer path).
+  std::function<sim::AsyncProcessFactory(const Graph& g, double load)>
+      make_async_load_factory = nullptr;
 };
 
 struct RunResult {
   Metrics metrics;
   std::uint64_t digest = 0;  ///< 0 when the scenario has no digest fn
   NodeId realized_n = 0;     ///< nodes in the generated graph
-  bool completed = true;     ///< false if the async slot cap was hit
+  /// False when the round/slot cap elapsed with work still pending.  The
+  /// digest is still reported — a capped run cuts off at a deterministic
+  /// slot count, so capped results remain scheduler-comparable (the
+  /// free-for-all load scenarios livelock past saturation by design).
+  bool completed = true;
 };
 
 class Registry {
@@ -117,12 +143,16 @@ Graph make_scenario_graph(const Scenario& s, NodeId n, std::uint64_t seed);
 
 /// Runs one scenario at size n: generate the graph, build the engine of the
 /// requested kind under `scheduler` (null = serial), run to completion,
-/// digest the results.  EngineKind::kAsync requires s.channel_free and runs
-/// the workload through the busy-tone synchronizer; a run that exhausts
-/// s.max_rounds slots reports completed == false instead of aborting.
+/// digest the results.  EngineKind::kAsync runs load-capable scenarios
+/// natively on the AsyncEngine (make_async_load_factory); all other
+/// scenarios require s.channel_free and go through the busy-tone
+/// synchronizer.  A run that exhausts s.max_rounds rounds/slots reports
+/// completed == false instead of aborting.  `load` > 0 selects the offered
+/// load of a load-capable scenario (0 = its default_load; rejected for
+/// scenarios without make_load_factory).
 RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
               std::unique_ptr<sim::Scheduler> scheduler = nullptr,
-              EngineKind engine = EngineKind::kSync);
+              EngineKind engine = EngineKind::kSync, double load = 0.0);
 
 /// FNV-1a fold helper for digest implementations.
 inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t word) {

@@ -146,6 +146,18 @@ class AsyncContext final {
     shard_->channel_writes.push_back(ChannelWrite{view_->self, packet});
   }
 
+  /// Open-loop accounting (sim/traffic.hpp), mirroring NodeContext: counts
+  /// fresh arrivals of class `cls` against this node's shard block.
+  void note_arrivals(QosClass cls, std::uint64_t count) {
+    shard_->latency->note_arrivals(cls, count);
+  }
+
+  /// Folds one delivered packet's enqueue->delivery delay (in slots) into
+  /// this node's shard block.
+  void record_latency(QosClass cls, std::uint64_t delay_slots) {
+    shard_->latency->record(cls, delay_slots);
+  }
+
   NodeId self() const { return view_->self; }
 
   /// Engine-internal: advances the acting tick between deliveries.
@@ -204,6 +216,10 @@ class AsyncEngine {
 
   RunStatus status() const { return status_; }
   const Metrics& metrics() const { return core_.metrics(); }
+
+  /// Per-class delay/backlog accounting of open-loop workloads
+  /// (sim/traffic.hpp); untouched by closed-loop protocols.
+  const LatencyRecorder& latency() const { return core_.latency(); }
 
   /// Direct access to a node's process (for reading results and tests).
   /// Termination is detected incrementally, like the synchronous engine:

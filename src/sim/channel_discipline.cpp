@@ -1,5 +1,6 @@
 #include "sim/channel_discipline.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "support/check.hpp"
@@ -12,13 +13,15 @@ const char* discipline_name(DisciplineKind kind) {
     case DisciplineKind::kTdma: return "tdma";
     case DisciplineKind::kCapetanakis: return "capetanakis";
     case DisciplineKind::kUnslotted: return "unslotted";
+    case DisciplineKind::kPseudoBayesian: return "pseudobayes";
+    case DisciplineKind::kReservation: return "reservation";
   }
   MMN_REQUIRE(false, "unknown discipline kind");
   return "";
 }
 
 std::unique_ptr<ChannelDiscipline> make_discipline(
-    DisciplineKind kind, const UnslottedConfig& unslotted) {
+    DisciplineKind kind, const UnslottedConfig& unslotted, std::uint64_t seed) {
   switch (kind) {
     case DisciplineKind::kFreeForAll:
       return std::make_unique<FreeForAllDiscipline>();
@@ -28,6 +31,10 @@ std::unique_ptr<ChannelDiscipline> make_discipline(
       return std::make_unique<CapetanakisDiscipline>();
     case DisciplineKind::kUnslotted:
       return std::make_unique<UnslottedDiscipline>(unslotted);
+    case DisciplineKind::kPseudoBayesian:
+      return std::make_unique<PseudoBayesianDiscipline>(seed);
+    case DisciplineKind::kReservation:
+      return std::make_unique<ReservationDiscipline>(seed);
   }
   MMN_REQUIRE(false, "unknown discipline kind");
   return nullptr;
@@ -112,6 +119,119 @@ SlotObservation CapetanakisDiscipline::slot(std::span<const ChannelWrite> writes
   if (resolver_->done()) {
     MMN_ASSERT(epoch_.empty(), "traversal ended with unresolved contenders");
     resolver_.reset();
+  }
+  return obs;
+}
+
+// ---- pseudo-Bayesian stabilized Aloha --------------------------------------
+
+void PseudoBayesianDiscipline::reset(NodeId n) {
+  MMN_REQUIRE(n >= 1, "stabilized Aloha needs at least one station");
+  n_ = n;
+  nu_ = 1.0;
+  backlog_ = 0;
+  pending_.assign(n, std::nullopt);
+}
+
+SlotObservation PseudoBayesianDiscipline::slot(
+    std::span<const ChannelWrite> writes, Channel& channel, Metrics& metrics) {
+  for (const ChannelWrite& w : writes) {
+    MMN_REQUIRE(w.node < n_, "writer id out of range");
+    if (!pending_[w.node]) ++backlog_;
+    pending_[w.node] = w.packet;  // re-write replaces (head-of-line re-key)
+  }
+  // Each pending station transmits with probability min(1, 1/nu).  Ascending
+  // node order, one draw per pending station: the draw sequence is a pure
+  // function of the committed write sequence and past outcomes.
+  const double p = nu_ <= 1.0 ? 1.0 : 1.0 / nu_;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (pending_[v] && rng_.next_bernoulli(p)) {
+      channel.write(v, *pending_[v]);
+    }
+  }
+  const SlotObservation obs = channel.resolve(metrics);
+  // Rivest's update, identical to channel/pseudo_bayesian.cpp: a collision
+  // reveals >= 2 backlogged stations, an idle or success slot drains one
+  // expected station from the estimate.
+  if (obs.collision()) {
+    nu_ += 1.0 / (std::exp(1.0) - 2.0);
+  } else {
+    nu_ = std::max(1.0, nu_ - 1.0);
+  }
+  if (obs.success()) {
+    pending_[obs.writer].reset();
+    --backlog_;
+  }
+  return obs;
+}
+
+// ---- reservation (multimedia MAC) ------------------------------------------
+
+void ReservationDiscipline::reset(NodeId n) {
+  MMN_REQUIRE(n >= 1, "reservation MAC needs at least one station");
+  n_ = n;
+  queue_.assign(n, kNoNode);
+  queue_head_ = 0;
+  queue_size_ = 0;
+  queued_.assign(n, 0);
+  pending_.assign(n, Packet{});
+  nu_ = 1.0;
+  data_backlog_ = 0;
+  data_pending_.assign(n, std::nullopt);
+}
+
+SlotObservation ReservationDiscipline::slot(std::span<const ChannelWrite> writes,
+                                            Channel& channel,
+                                            Metrics& metrics) {
+  // Pass 1 — classify.  Reserved classes (voice/video) file a grant request,
+  // modeled as arriving over the collision-free reservation minislots; the
+  // FIFO ring has capacity n because each station holds at most one grant
+  // (the engines enforce one write per slot, and a queued station's
+  // re-write only refreshes its pending payload — the head-of-line re-key,
+  // same as TDMA/Capetanakis).  Data-class writes land as the data lane's
+  // pending transmissions, also with replace semantics.
+  for (const ChannelWrite& w : writes) {
+    MMN_REQUIRE(w.node < n_, "writer id out of range");
+    if (queued_[w.node]) {
+      pending_[w.node] = w.packet;
+    } else if (qos_of_tag(w.packet.type()) != QosClass::kData) {
+      queued_[w.node] = 1;
+      pending_[w.node] = w.packet;
+      queue_[(queue_head_ + queue_size_) % queue_.size()] = w.node;
+      ++queue_size_;
+    } else {
+      if (!data_pending_[w.node]) ++data_backlog_;
+      data_pending_[w.node] = w.packet;
+    }
+  }
+  // Pass 2 — resolve.  A non-empty queue owns the slot: the head station
+  // transmits exclusively, collision-free by construction, and the data
+  // lane neither transmits nor updates its estimate (it learns nothing
+  // from a slot it was barred from).  Only queue-free slots fall through
+  // to the data lane's pseudo-Bayesian lottery.
+  if (queue_size_ > 0) {
+    const NodeId v = queue_[queue_head_];
+    queue_head_ = (queue_head_ + 1) % queue_.size();
+    --queue_size_;
+    queued_[v] = 0;
+    channel.write(v, pending_[v]);
+    return channel.resolve(metrics);
+  }
+  const double p = nu_ <= 1.0 ? 1.0 : 1.0 / nu_;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (data_pending_[v] && rng_.next_bernoulli(p)) {
+      channel.write(v, *data_pending_[v]);
+    }
+  }
+  const SlotObservation obs = channel.resolve(metrics);
+  if (obs.collision()) {
+    nu_ += 1.0 / (std::exp(1.0) - 2.0);
+  } else {
+    nu_ = std::max(1.0, nu_ - 1.0);
+  }
+  if (obs.success()) {
+    data_pending_[obs.writer].reset();
+    --data_backlog_;
   }
   return obs;
 }

@@ -73,18 +73,25 @@ class ChannelDiscipline {
 
 /// The named disciplines, for scenario registration and factories.
 enum class DisciplineKind : std::uint8_t {
-  kFreeForAll,   ///< every write contends; the bare Section 2 channel
-  kTdma,         ///< round-robin slot ownership; writes wait for their slot
-  kCapetanakis,  ///< tree resolution: collisions split the pending id set
-  kUnslotted,    ///< Section 7.2 busy-tone emulation; outcome-preserving
+  kFreeForAll,     ///< every write contends; the bare Section 2 channel
+  kTdma,           ///< round-robin slot ownership; writes wait for their slot
+  kCapetanakis,    ///< tree resolution: collisions split the pending id set
+  kUnslotted,      ///< Section 7.2 busy-tone emulation; outcome-preserving
+  kPseudoBayesian, ///< Rivest stabilized Aloha over the pending-station set
+  kReservation,    ///< multimedia MAC: reserved grants for voice/video,
+                   ///< free-for-all contention for data
 };
 
 const char* discipline_name(DisciplineKind kind);
 
 /// Builds a fresh discipline instance.  `unslotted` configures the
-/// kUnslotted emulation and is ignored by the other kinds.
+/// kUnslotted emulation and is ignored by the other kinds; `seed` feeds the
+/// kPseudoBayesian transmission lottery (the other kinds draw nothing —
+/// kUnslotted's jitter stream is pinned by its own config, whose seed
+/// participates in golden digests and must not drift with the run seed).
 std::unique_ptr<ChannelDiscipline> make_discipline(
-    DisciplineKind kind, const UnslottedConfig& unslotted = UnslottedConfig{});
+    DisciplineKind kind, const UnslottedConfig& unslotted = UnslottedConfig{},
+    std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
 /// The seed behavior: every registered write goes straight to the channel.
 class FreeForAllDiscipline final : public ChannelDiscipline {
@@ -165,6 +172,78 @@ class UnslottedDiscipline final : public ChannelDiscipline {
   Rng rng_;
   NodeId n_ = 0;
   std::uint64_t boundary_ = 0;
+};
+
+/// Rivest's pseudo-Bayesian stabilized Aloha as a discipline-level MAC (the
+/// node-side formulation lives in channel/pseudo_bayesian.hpp; here the
+/// policy itself holds the pending stations, which is what an open-loop
+/// workload needs — stations just keep re-writing their head-of-line packet
+/// and the discipline is the scheduler).  Every slot, each pending station
+/// transmits with probability min(1, 1/nu); the shared backlog estimate nu
+/// is updated from the public outcome (collision: nu += 1/(e-2); otherwise
+/// nu = max(1, nu-1)).  Stationary throughput approaches 1/e.
+///
+/// Determinism: slot() runs single-threaded after the round barrier, the
+/// pending set is iterated in ascending node id, and the lottery draws come
+/// from the discipline's own stream seeded at construction — a pure
+/// function of the committed write sequence and slot outcomes, so the
+/// scheduler-equivalence argument holds unchanged.
+class PseudoBayesianDiscipline final : public ChannelDiscipline {
+ public:
+  explicit PseudoBayesianDiscipline(std::uint64_t seed) : rng_(seed) {}
+
+  const char* name() const override { return "pseudobayes"; }
+  void reset(NodeId n) override;
+  SlotObservation slot(std::span<const ChannelWrite> writes, Channel& channel,
+                       Metrics& metrics) override;
+  std::size_t backlog() const override { return backlog_; }
+  bool defers() const override { return true; }
+
+ private:
+  Rng rng_;
+  NodeId n_ = 0;
+  double nu_ = 1.0;
+  std::size_t backlog_ = 0;
+  std::vector<std::optional<Packet>> pending_;  // per node, replace semantics
+};
+
+/// The PAPERS.md multimedia MAC: reservation minislots for the
+/// delay-sensitive classes, stabilized contention for the rest.  Writes
+/// whose packet tag carries a reserved QosClass (voice/video — see
+/// qos_of_tag in sim/message.hpp; untagged legacy packets read as voice)
+/// enter a collision-free FIFO grant queue: the station's request is
+/// assumed signalled over per-slot reservation minislots, which the model
+/// treats as a free side channel (exactly like the Section 7.2 busy tone —
+/// minislot traffic is below the slot's payload granularity).  A non-empty
+/// queue owns the slot and its head transmits exclusively; only queue-free
+/// slots fall through to the data lane, which runs the same pseudo-Bayesian
+/// lottery as PseudoBayesianDiscipline over the pending data stations.
+/// Reserved delay is therefore bounded by the queue occupancy (at most the
+/// number of reserved stations) independent of data load, while data keeps
+/// the leftover slots at ~1/e efficiency and starves first under overload —
+/// the bounded-delay/starvation split tests/test_traffic.cpp pins.
+class ReservationDiscipline final : public ChannelDiscipline {
+ public:
+  explicit ReservationDiscipline(std::uint64_t seed) : rng_(seed) {}
+
+  const char* name() const override { return "reservation"; }
+  void reset(NodeId n) override;
+  SlotObservation slot(std::span<const ChannelWrite> writes, Channel& channel,
+                       Metrics& metrics) override;
+  std::size_t backlog() const override { return queue_size_ + data_backlog_; }
+  bool defers() const override { return true; }
+
+ private:
+  Rng rng_;                     // data-lane lottery draws
+  NodeId n_ = 0;
+  std::vector<NodeId> queue_;   // FIFO ring of granted stations, capacity n
+  std::size_t queue_head_ = 0;
+  std::size_t queue_size_ = 0;
+  std::vector<char> queued_;    // per node: sitting in queue_?
+  std::vector<Packet> pending_; // per queued node, replace semantics
+  double nu_ = 1.0;             // data lane's shared backlog estimate
+  std::size_t data_backlog_ = 0;
+  std::vector<std::optional<Packet>> data_pending_;  // replace semantics
 };
 
 }  // namespace mmn::sim

@@ -69,6 +69,10 @@ class Engine {
 
   const Metrics& metrics() const { return core_.metrics(); }
 
+  /// Per-class delay/backlog accounting of open-loop workloads
+  /// (sim/traffic.hpp); untouched by closed-loop protocols.
+  const LatencyRecorder& latency() const { return core_.latency(); }
+
   /// Direct access to a node's process (for reading results and tests).
   /// Mutating a process so that finished() changes outside of round() breaks
   /// the engine's incrementally maintained finished count — finished() must

@@ -20,6 +20,51 @@ namespace mmn::sim {
 
 using Word = std::int64_t;
 
+/// Traffic priority class of a packet (the PAPERS.md multimedia MAC's
+/// service classes): voice and video are the reserved, delay-sensitive
+/// classes; data is elastic best-effort.  Ordered by priority — a smaller
+/// value is more urgent — so untagged legacy packets (type tags below
+/// 2^14 leave the class bits zero) read as kVoice and a priority-aware
+/// discipline serves them collision-free rather than starving them.
+enum class QosClass : std::uint8_t { kVoice = 0, kVideo = 1, kData = 2 };
+
+inline constexpr std::size_t kNumQosClasses = 3;
+
+inline const char* qos_name(QosClass cls) {
+  switch (cls) {
+    case QosClass::kVoice: return "voice";
+    case QosClass::kVideo: return "video";
+    case QosClass::kData: return "data";
+  }
+  return "?";
+}
+
+/// The class rides in the top two bits of the 16-bit packet type tag — the
+/// one header field that crosses both media unchanged.  Embedding it there
+/// keeps MsgHeader/StampedHeader at their pinned 16/32-byte layouts (the
+/// SIMD histograms stride over them) and costs protocols nothing: their
+/// type space shrinks from 2^16 to 2^14, far above any tag in the repo.
+inline constexpr unsigned kQosTagShift = 14;
+inline constexpr std::uint16_t kQosTagMask = 0x3FFF;
+
+inline std::uint16_t qos_tagged(std::uint16_t type, QosClass cls) {
+  MMN_DCHECK((type & ~kQosTagMask) == 0, "type tag collides with class bits");
+  return static_cast<std::uint16_t>(
+      type | (static_cast<std::uint16_t>(cls) << kQosTagShift));
+}
+
+/// Class of a tagged type; out-of-range class bits (3) degrade to kData so
+/// a corrupt tag can never index past a per-class array.
+inline QosClass qos_of_tag(std::uint16_t type) {
+  const auto bits = static_cast<std::uint8_t>(type >> kQosTagShift);
+  return bits < kNumQosClasses ? static_cast<QosClass>(bits) : QosClass::kData;
+}
+
+/// The protocol-level tag with the class bits stripped.
+inline std::uint16_t qos_base_type(std::uint16_t type) {
+  return static_cast<std::uint16_t>(type & kQosTagMask);
+}
+
 /// Index of a payload in a packet pool (sim/runtime_core.hpp).  Message
 /// headers carry a PacketRef instead of the packet itself, so the per-round
 /// sorts and scatters move 16–32-byte headers, not 80-byte payloads.

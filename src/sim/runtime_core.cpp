@@ -278,6 +278,10 @@ RuntimeCore::RuntimeCore(const Graph& g, std::uint64_t seed,
     rngs_.push_back(root.fork(v));
   }
   shards_.resize(scheduler_->shards());
+  latency_.reset(scheduler_->shards());
+  for (unsigned s = 0; s < scheduler_->shards(); ++s) {
+    shards_[s].latency = &latency_.block(s);
+  }
   arena_.reset(n, scheduler_->shards());
   discipline_->reset(n);
 }

@@ -38,6 +38,7 @@
 #include "sim/channel_discipline.hpp"
 #include "sim/message.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/traffic.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
@@ -130,6 +131,10 @@ struct alignas(64) ShardBuffer {
   std::uint64_t pool_bytes = 0;   ///< live payload bytes staged this round
   std::vector<ChannelWrite> channel_writes;
   std::uint64_t p2p_sent = 0;
+  /// This shard's delay-histogram block (sim/traffic.hpp), wired by
+  /// RuntimeCore at construction.  Written only by the shard's own worker,
+  /// like everything else here; merged shard-major on read.
+  LatencyBlock* latency = nullptr;
 
   /// Files one payload in the shard's pool and returns its ref.  Only the
   /// live prefix is copied; slots are appended only past the high-water
@@ -298,6 +303,25 @@ class NodeContext final {
                 "packet exceeds the O(log n) bound");
     wrote_channel_ = true;
     shard_->channel_writes.push_back(ChannelWrite{view_->self, packet});
+  }
+
+  /// Open-loop accounting (sim/traffic.hpp): counts `count` fresh arrivals
+  /// of class `cls` against this node's shard block.  Engine path only —
+  /// the synchronizer's sink contexts carry no shard, and the open-loop
+  /// workloads never run under it.
+  void note_arrivals(QosClass cls, std::uint64_t count) {
+    MMN_REQUIRE(shard_ != nullptr,
+                "open-loop accounting needs an engine-backed context");
+    shard_->latency->note_arrivals(cls, count);
+  }
+
+  /// Folds one delivered packet's enqueue->delivery delay (in slots) into
+  /// the per-class histogram of this node's shard block.  Two array
+  /// increments and an add — the recorder allocates nothing in steady state.
+  void record_latency(QosClass cls, std::uint64_t delay_slots) {
+    MMN_REQUIRE(shard_ != nullptr,
+                "open-loop accounting needs an engine-backed context");
+    shard_->latency->record(cls, delay_slots);
   }
 
   /// True if this node already wrote to the channel this round.
@@ -601,6 +625,12 @@ class RuntimeCore {
   /// The asynchronous policy's bucket store; inert until its reset().
   SlotBuckets& slot_buckets() { return slot_buckets_; }
 
+  /// Per-class delay/backlog accounting for open-loop workloads
+  /// (sim/traffic.hpp).  Always present (a block per shard, ~1 KiB each);
+  /// closed-loop runs simply never write to it.
+  const LatencyRecorder& latency() const { return latency_; }
+  LatencyRecorder& latency() { return latency_; }
+
   /// Commits one asynchronous slot phase: the staged effects of all shards
   /// merged in ascending shard order — channel writes into the channel,
   /// async sends seq-stamped into the slot buckets, p2p counts into metrics.
@@ -615,6 +645,7 @@ class RuntimeCore {
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<ChannelDiscipline> discipline_;
   std::vector<ShardBuffer> shards_;
+  LatencyRecorder latency_;
   MessageArena arena_;
   SlotBuckets slot_buckets_;
   Channel channel_;

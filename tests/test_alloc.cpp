@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/openloop.hpp"
 #include "graph/generators.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
@@ -186,6 +187,37 @@ TEST(SteadyStateAllocation, AsyncEngineAllocatesNothingPerSlot) {
     EXPECT_EQ(allocs, 0u)
         << allocs << " heap allocations in " << kMeasuredRounds
         << " steady-state slots with " << threads << " thread(s)";
+  }
+}
+
+TEST(SteadyStateAllocation, OpenLoopRecorderAllocatesNothingPerRound) {
+  // The open-loop load path end to end: constant-rate arrivals, per-class
+  // FIFOs, the reservation grant ring, delivery gossip, and every
+  // record_latency() into the shard's LatencyBlock.  The constant source
+  // is periodic and the load is under the reservation capacity, so the
+  // queues and pools reach their high-water capacity during a long warmup
+  // and the measured window must not allocate — pinning the LatencyRecorder
+  // claim in sim/traffic.hpp on the real delivery hot path.
+  constexpr std::uint64_t kOpenLoopWarmup = 2048;
+  for (unsigned threads : {1u, 4u}) {
+    const Graph g = build_topology(TopologySpec{TopoKind::kRing, 64, 11});
+    mmn::OpenLoopConfig config;
+    config.arrivals = ArrivalKind::kConstant;
+    config.offered = 0.4;
+    config.horizon = ~std::uint64_t{0};  // never finishes; step() drives it
+    Engine engine(g, mmn::make_open_loop_factory(config), 11,
+                  threads <= 1 ? nullptr : make_scheduler(threads),
+                  make_discipline(DisciplineKind::kReservation,
+                                  UnslottedConfig{}, 11));
+    engine.step(kOpenLoopWarmup);
+    g_allocs.store(0);
+    g_counting.store(true);
+    engine.step(kMeasuredRounds);
+    g_counting.store(false);
+    const std::uint64_t allocs = g_allocs.load();
+    EXPECT_EQ(allocs, 0u)
+        << allocs << " heap allocations in " << kMeasuredRounds
+        << " steady open-loop rounds with " << threads << " thread(s)";
   }
 }
 

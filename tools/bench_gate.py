@@ -30,8 +30,12 @@ then on the gate fails real hot-path regressions on that pool.
 
 Gating is two-sided: throughput counters (slots/s, msgs/s, nodes/s, ...)
 fail when they DROP past the tolerance, memory counters (bytes_per_node on
-the topology/ benches) fail when they GROW past it — the CSR substrate's
-footprint is as load-bearing as its speed.
+the topology/ benches, p99_delay_slots on the load/ sweep) fail when they
+GROW past it — the CSR substrate's footprint and the reservation MAC's
+delay tail are as load-bearing as raw speed.  Model counters (goodput_pps
+on the load/ sweep) are deterministic simulation outputs, not wall-clock
+measurements: they fail on a drop even when a machine-shape mismatch
+leaves the throughput gate advisory.
 
 Refreshing the baseline after an intentional perf change:
   ./build/bench_sim_throughput --json --benchmark_repetitions=3 \
@@ -60,7 +64,14 @@ THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "nodes/s",
 # MessageArena::bytes_moved()) — deterministic, so growth means the hot
 # path started moving more data per round (e.g. payload copies crept back
 # in), not that the machine got slower.
-MEMORY_COUNTERS = ("bytes_per_node", "bytes_per_round")
+MEMORY_COUNTERS = ("bytes_per_node", "bytes_per_round", "p99_delay_slots")
+
+# Deterministic model outputs (higher is better): pure functions of
+# (seed, load, discipline), independent of the machine, so a drop is a
+# behavior change, never noise — these fail even when the throughput gate
+# is disarmed by a machine-shape mismatch.  goodput_pps is the load/
+# sweep's delivered-packets-per-slot curve.
+MODEL_COUNTERS = ("goodput_pps",)
 
 # arena/ and buckets/ are the hot-path data-layout micro-counters
 # (MessageArena::flip, SlotBuckets::stage): the structures the SoA
@@ -69,8 +80,11 @@ MEMORY_COUNTERS = ("bytes_per_node", "bytes_per_round")
 # throughput and the bytes-per-node footprint of the CSR substrate.
 # roofline/ gates the flip rows two-sided — msgs/s must not drop,
 # bytes_per_round must not grow.
+# load/ gates the open-loop sweep three ways: goodput_pps (model, must
+# not drop), p99_delay_slots (model, must not grow), slots/s (wall-clock,
+# armed machines only).
 DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/", "arena/",
-                    "buckets/", "topology/", "roofline/")
+                    "buckets/", "topology/", "roofline/", "load/")
 
 
 def load_benchmarks(path):
@@ -124,6 +138,16 @@ def memory(benches):
     return None, None
 
 
+def model(benches):
+    """Median deterministic higher-is-better model counter, or (None, None)."""
+    for counter in MODEL_COUNTERS:
+        values = [float(b[counter]) for b in benches
+                  if isinstance(b.get(counter), (int, float))]
+        if values:
+            return counter, statistics.median(values)
+    return None, None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -167,8 +191,10 @@ def main():
                         "%s: gated %s counter missing from fresh run"
                         % (name, mem_counter))
             else:
+                # A zero baseline stays comparable: 0 -> 0 is unchanged,
+                # 0 -> anything positive is unbounded growth.
                 mem_ratio = (fresh_mem / base_mem if base_mem > 0
-                             else float("inf"))
+                             else (1.0 if fresh_mem == 0 else float("inf")))
                 rows.append((name, mem_counter, base_mem, fresh_mem,
                              mem_ratio, gated))
                 if gated and mem_ratio > 1.0 + args.tolerance:
@@ -177,6 +203,32 @@ def main():
                         "tolerance %.0f%%)"
                         % (name, mem_counter, (mem_ratio - 1.0) * 100.0,
                            base_mem, fresh_mem, args.tolerance * 100.0))
+
+        # Model counters are deterministic simulation outputs: like the
+        # memory counters they gate independently of machine shape, but in
+        # the throughput direction — a drop is the regression.
+        model_counter, base_model = model(base_bench)
+        if model_counter is not None:
+            fresh_model = model(fresh_bench)[1] if fresh_bench else None
+            if fresh_model is None:
+                if gated:
+                    mem_failures.append(
+                        "%s: gated %s counter missing from fresh run"
+                        % (name, model_counter))
+            else:
+                model_ratio = (fresh_model / base_model if base_model > 0
+                               else (1.0 if fresh_model == 0
+                                     else float("inf")))
+                rows.append((name, model_counter, base_model, fresh_model,
+                             model_ratio, gated))
+                if gated and model_ratio < 1.0 - args.tolerance:
+                    mem_failures.append(
+                        "%s: %s dropped %.1f%% (baseline %.3g, fresh %.3g; "
+                        "tolerance %.0f%%) — deterministic model output, "
+                        "this is a behavior change"
+                        % (name, model_counter,
+                           (1.0 - model_ratio) * 100.0, base_model,
+                           fresh_model, args.tolerance * 100.0))
 
         counter, base_value = throughput(base_bench)
         if counter is None:
@@ -247,8 +299,9 @@ def main():
         for failure in failures + mem_failures:
             print("  " + failure)
         if mem_failures:
-            print("\nByte counts are machine-independent: bytes_per_node / "
-                  "bytes_per_round regressions fail even when the throughput "
+            print("\nByte counts and model outputs are machine-independent: "
+                  "bytes_per_node / bytes_per_round / p99_delay_slots / "
+                  "goodput_pps regressions fail even when the throughput "
                   "gate is disarmed by a machine-shape mismatch.")
         print("\nIf the regression is intentional, refresh the baseline "
               "(see this script's docstring).")
