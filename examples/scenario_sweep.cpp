@@ -19,7 +19,12 @@
 // clamping — sweep automation must never report a different n than asked.
 // --load is equally strict: it only applies to load-capable scenarios (the
 // open-loop load/ family), and selecting it with anything else exits
-// non-zero instead of silently running the scenario at no load.
+// non-zero instead of silently running the scenario at no load.  --faults
+// follows the same rule for fault-capable scenarios (the fault/ family):
+// it scales the fault intensity k, and naming it with a scenario that has
+// no make_fault_plan exits non-zero.  Fault-capable scenarios run at their
+// default_faults even without the flag — the fault/ rows are always
+// faulted rows.
 //
 // CI diffs the serial and parallel tables row by row, so a malformed
 // registry entry must fail the sweep loudly instead of being skipped:
@@ -74,12 +79,21 @@ bool validate_registry(const std::deque<mmn::scenario::Scenario>& scenarios) {
 
 void print_row(const mmn::scenario::Scenario& s, const char* suffix,
                const mmn::scenario::RunResult& r) {
-  std::printf("%-30s %-9s %-11s %8u %10llu %12llu %18llx\n",
+  std::printf("%-30s %-9s %-11s %8u %10llu %12llu %18llx",
               (s.name + suffix).c_str(), mmn::topology_name(s.topology),
               mmn::sim::discipline_name(s.discipline), r.realized_n,
               (unsigned long long)r.metrics.rounds,
               (unsigned long long)r.metrics.p2p_messages,
               (unsigned long long)r.digest);
+  // Faulted rows append their degradation tail; the columns are as
+  // deterministic as the digest, so the CI serial/parallel diff covers them.
+  if (!(r.faults == mmn::sim::FaultStats{})) {
+    std::printf("  drops=%llu orphans=%llu rec=%llu",
+                (unsigned long long)r.faults.drops,
+                (unsigned long long)r.faults.orphaned_pkts,
+                (unsigned long long)r.recovery_slots);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -89,6 +103,7 @@ int main(int argc, char** argv) {
   unsigned threads = 1;
   NodeId requested_n = 0;  // 0 = each scenario's smallest sweep size
   double load = 0.0;       // 0 = each load scenario's default_load
+  unsigned faults = 0;     // 0 = each fault scenario's default_faults
   std::string only;        // empty = every scenario
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -114,6 +129,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       load = parsed;
+    } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(arg + 9, &end, 10);
+      if (end == arg + 9 || *end != '\0' || errno == ERANGE || parsed < 1 ||
+          parsed > 4096 || arg[9] == '-') {
+        std::fprintf(stderr, "bad --faults value: %s\n", arg + 9);
+        return 2;
+      }
+      faults = static_cast<unsigned>(parsed);
     } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
       only = arg + 11;
     } else {
@@ -122,7 +147,7 @@ int main(int argc, char** argv) {
       if (end == arg || *end != '\0' || parsed < 1 || parsed > 256) {
         std::fprintf(stderr,
                      "usage: %s [threads: 1..256] [--n=N] [--load=L] "
-                     "[--scenario=NAME]\n",
+                     "[--faults=K] [--scenario=NAME]\n",
                      argv[0]);
         return 2;
       }
@@ -168,6 +193,20 @@ int main(int argc, char** argv) {
     }
     if (!ok) return 1;
   }
+  // Same strictness for --faults: an intensity named against a scenario
+  // without a fault plan would silently run fault-free.
+  if (faults > 0) {
+    bool ok = true;
+    for (const auto& s : scenarios) {
+      if (!only.empty() && s.name != only) continue;
+      if (!s.make_fault_plan) {
+        std::fprintf(stderr, "%s is not fault-capable; --faults needs the "
+                     "fault/ scenarios\n", s.name.c_str());
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+  }
 
   std::size_t selected = 0;
   for (const auto& s : scenarios) selected += only.empty() || s.name == only;
@@ -182,7 +221,7 @@ int main(int argc, char** argv) {
     const scenario::RunResult r = scenario::run(
         s, n, s.default_seed,
         threads > 1 ? sim::make_scheduler(threads) : nullptr,
-        scenario::EngineKind::kSync, load);
+        scenario::EngineKind::kSync, load, faults);
     print_row(s, "", r);
   }
   // The asynchronous engine runs channel-free workloads (through the
@@ -195,7 +234,7 @@ int main(int argc, char** argv) {
     const scenario::RunResult r = scenario::run(
         s, n, s.default_seed,
         threads > 1 ? sim::make_scheduler(threads) : nullptr,
-        scenario::EngineKind::kAsync, load);
+        scenario::EngineKind::kAsync, load, faults);
     // Synchronizer-path protocols must terminate; an open-loop run capped
     // mid-livelock (free-for-all past saturation) is a valid, deterministic
     // row — the backlog is the result.

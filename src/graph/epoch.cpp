@@ -1,0 +1,112 @@
+#include "graph/epoch.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace mmn {
+
+EpochOverlay::EpochOverlay(const Graph& base)
+    : base_(&base),
+      dead_((static_cast<std::size_t>(base.num_edges()) + 63) / 64, 0),
+      down_(base.num_nodes(), 0) {}
+
+void EpochOverlay::kill_link(EdgeId e) {
+  MMN_REQUIRE(e < base_->num_edges(), "kill_link: edge id out of range");
+  std::uint64_t& word = dead_[e >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (e & 63);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++links_down_;
+  }
+}
+
+void EpochOverlay::revive_link(EdgeId e) {
+  MMN_REQUIRE(e < base_->num_edges(), "revive_link: edge id out of range");
+  std::uint64_t& word = dead_[e >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (e & 63);
+  if ((word & bit) != 0) {
+    word &= ~bit;
+    --links_down_;
+  }
+}
+
+void EpochOverlay::crash_node(NodeId v) {
+  MMN_REQUIRE(v < base_->num_nodes(), "crash_node: node id out of range");
+  if (down_[v] == 0) {
+    down_[v] = 1;
+    ++nodes_down_;
+  }
+}
+
+void EpochOverlay::recover_node(NodeId v) {
+  MMN_REQUIRE(v < base_->num_nodes(), "recover_node: node id out of range");
+  if (down_[v] != 0) {
+    down_[v] = 0;
+    --nodes_down_;
+  }
+}
+
+void EpochOverlay::add_link(NodeId u, NodeId v, Weight w) {
+  MMN_REQUIRE(u < base_->num_nodes() && v < base_->num_nodes() && u != v,
+              "add_link: endpoints must be distinct in-range nodes");
+  delta_.push_back(Edge{u, v, w});
+}
+
+EpochOverlay::Compaction EpochOverlay::compact() {
+  const Graph& g = *base_;
+  const EdgeId m = g.num_edges();
+  std::vector<EdgeId> old_to_new(m, kNoEdge);
+  // First pass: count survivors so the builder reserves exactly once.
+  EdgeId alive = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge ed = g.edge(e);
+    if (link_alive(e) && node_alive(ed.u) && node_alive(ed.v)) ++alive;
+  }
+  GraphBuilder builder(g.num_nodes(),
+                       static_cast<std::size_t>(alive) + delta_.size());
+  std::vector<Weight> weights;
+  weights.reserve(static_cast<std::size_t>(alive) + delta_.size());
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge ed = g.edge(e);
+    if (!link_alive(e) || !node_alive(ed.u) || !node_alive(ed.v)) continue;
+    old_to_new[e] = builder.add_edge(ed.u, ed.v);
+    weights.push_back(ed.weight);
+  }
+  for (const Edge& ed : delta_) {
+    if (!node_alive(ed.u) || !node_alive(ed.v)) continue;
+    builder.add_edge(ed.u, ed.v);
+    weights.push_back(ed.weight);
+  }
+  delta_.clear();
+  ++epoch_;
+  return Compaction{std::move(builder).finish_with_weights(weights),
+                    std::move(old_to_new)};
+}
+
+std::uint64_t EpochOverlay::digest_word() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t word) {
+    h = (h ^ word) * 0x100000001b3ULL;
+  };
+  for (const std::uint64_t word : dead_) mix(word);
+  // Fold the down set as packed bits so the digest is insensitive to the
+  // char-vector representation.
+  std::uint64_t packed = 0;
+  for (NodeId v = 0; v < base_->num_nodes(); ++v) {
+    packed = (packed << 1) | static_cast<std::uint64_t>(down_[v]);
+    if ((v & 63) == 63) {
+      mix(packed);
+      packed = 0;
+    }
+  }
+  mix(packed);
+  for (const Edge& ed : delta_) {
+    mix((static_cast<std::uint64_t>(ed.u) << 32) | ed.v);
+    mix(ed.weight);
+  }
+  mix(epoch_);
+  return h;
+}
+
+}  // namespace mmn

@@ -1,0 +1,106 @@
+// Epoch overlay: dynamic topology over the immutable CSR arena.
+//
+// The Graph arena is immutable by design (graph/graph.hpp) — the overlay
+// makes *change* cheap instead of making mutation cheap.  Link and node
+// state changes land in O(1) side structures over the canonical edge slots:
+// a tombstone bitset (one bit per EdgeId) for dead links, a per-node down
+// flag for crashed nodes, and a small delta adjacency for links added since
+// the last compaction.  The arena itself is never touched, so every
+// LocalView window, every NeighborRange, and every edge id stays valid for
+// the whole epoch.
+//
+// Mid-epoch the overlay is consulted at the *message commit seam*, not per
+// adjacency access: NodeContext/AsyncContext test link_alive/node_alive on
+// every send behind the existing interface (sim/runtime_core.hpp), which
+// keeps the fault-free hot path at a single null test and means iteration
+// over neighbors(v) — the weight-ordered scan the paper's algorithms build
+// on — never pays a per-entry filter.  At an epoch boundary compact()
+// streams the surviving edges (plus the delta) through the GraphBuilder
+// path into a fresh arena with the original weights, and the caller
+// rebuilds views/engines on it — the protocol-recovery flow of
+// scenario::run (see ARCHITECTURE.md, "Dynamic topology & fault
+// injection").
+//
+// Determinism: all overlay mutation happens single-threaded at slot
+// boundaries (sim/fault.hpp applies events between rounds, after the shard
+// barrier), so within a round the overlay is read-only shared state and the
+// serial/parallel bit-identity argument carries over unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mmn {
+
+class EpochOverlay {
+ public:
+  /// Binds to a base arena; everything starts alive.  `base` must outlive
+  /// the overlay.
+  explicit EpochOverlay(const Graph& base);
+
+  const Graph& base() const { return *base_; }
+
+  /// Liveness of a base-arena link.  O(1) bit test; hot path — called per
+  /// send when faults are installed.
+  bool link_alive(EdgeId e) const {
+    return ((dead_[e >> 6] >> (e & 63)) & 1u) == 0;
+  }
+
+  bool node_alive(NodeId v) const { return down_[v] == 0; }
+
+  /// Idempotent state flips; counters track the current dead sets.
+  void kill_link(EdgeId e);
+  void revive_link(EdgeId e);
+  void crash_node(NodeId v);
+  void recover_node(NodeId v);
+
+  std::uint32_t links_down() const { return links_down_; }
+  std::uint32_t nodes_down() const { return nodes_down_; }
+
+  /// Compactions performed so far.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Files a link in the delta adjacency.  Delta links are not addressable
+  /// mid-epoch (they have no canonical slot in the base arena); they become
+  /// real edges of the fresh arena at the next compact().  The weight must
+  /// be distinct from every surviving base weight (weights > base m are
+  /// always safe).
+  void add_link(NodeId u, NodeId v, Weight w);
+
+  std::size_t delta_links() const { return delta_.size(); }
+
+  struct Compaction {
+    Graph graph;  ///< the fresh arena: surviving base edges, then the delta
+    /// base EdgeId -> compacted EdgeId, kNoEdge for edges that died.  Delta
+    /// links take the ids after the survivors, in add_link order.
+    std::vector<EdgeId> old_to_new;
+  };
+
+  /// Epoch boundary: streams every live base edge (tombstone clear, both
+  /// endpoints alive) plus the delta through GraphBuilder into a fresh
+  /// arena, preserving base weights.  Crashed nodes stay in the node set as
+  /// isolated vertices, so node ids are stable across epochs.  Consumes the
+  /// delta and bumps epoch(); the overlay itself stays bound to the old
+  /// base — a caller that keeps injecting faults builds a fresh overlay on
+  /// the returned graph.
+  Compaction compact();
+
+  /// FNV-1a fold of the overlay state: the tombstone set, the down set, the
+  /// delta, and the epoch count.  Depends only on which faults applied, not
+  /// on when the caller compacts — recovery digests fold this so a
+  /// re-converged result is pinned together with the topology it ran on.
+  std::uint64_t digest_word() const;
+
+ private:
+  const Graph* base_;
+  std::vector<std::uint64_t> dead_;  ///< tombstone bitset over base edges
+  std::vector<char> down_;           ///< per-node crashed flag
+  std::vector<Edge> delta_;          ///< links added since last compaction
+  std::uint32_t links_down_ = 0;
+  std::uint32_t nodes_down_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace mmn

@@ -48,15 +48,82 @@ Graph make_scenario_graph(const Scenario& s, NodeId n, std::uint64_t seed) {
 
 RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
               std::unique_ptr<sim::Scheduler> scheduler, EngineKind engine,
-              double load) {
+              double load, std::uint32_t faults) {
   MMN_REQUIRE(load == 0.0 || s.make_load_factory != nullptr,
               "scenario is not load-capable (no make_load_factory)");
+  MMN_REQUIRE(faults == 0 || s.make_fault_plan != nullptr,
+              "scenario is not fault-capable (no make_fault_plan)");
   const Graph g = make_scenario_graph(s, n, seed);
   RunResult result;
   result.realized_n = g.num_nodes();
   // The run seed also feeds the discipline's own lottery stream (the
   // stabilized-Aloha kinds; the others ignore it — see make_discipline).
   const double offered = load > 0.0 ? load : s.default_load;
+  const std::uint32_t intensity = faults > 0 ? faults : s.default_faults;
+  sim::FaultPlan plan;
+  if (intensity > 0 && s.make_fault_plan) {
+    plan = s.make_fault_plan(g, intensity, seed);
+  }
+  const bool faulted = !plan.empty();
+
+  if (faulted && s.fault_recovery) {
+    // Two-phase recovery flow.  Phase A steps the protocol serially into
+    // the fault: the round where the kills land runs with in-flight traffic
+    // hitting dead links (dropped and counted), and one round beyond would
+    // start violating the protocol's own invariants — the paper's
+    // deterministic protocols assume reliable links, so the recovery
+    // mechanism is the epoch rebuild, not in-protocol loss tolerance.  The
+    // epoch overlay then compacts the surviving topology into a fresh arena
+    // and phase B re-runs the protocol from scratch on it under the
+    // caller's scheduler; the slots between the fault and the configured
+    // epoch boundary model the detection/rebuild window and bill into
+    // recovery_slots.  The recovery digest folds phase B's protocol result
+    // with the overlay's kill-set word — both are invariant to where the
+    // epoch boundary lands (any boundary past the last fault event yields
+    // the same compacted graph), so recovery runs pin re-convergence
+    // without being sensitive to drop timing.
+    MMN_REQUIRE(engine == EngineKind::kSync,
+                "fault-recovery scenarios run on the synchronous engine");
+    MMN_REQUIRE(s.fault_epoch_slots > 0,
+                "fault-recovery scenarios need fault_epoch_slots");
+    std::uint64_t last_fault = 0;
+    for (const sim::FaultEvent& e : plan.events()) {
+      last_fault = std::max(last_fault, e.slot);
+    }
+    MMN_REQUIRE(s.fault_epoch_slots > last_fault,
+                "the epoch boundary must fall after the last fault event");
+    sim::Engine wounded(g, s.make_factory(g), seed, nullptr,
+                        sim::make_discipline(s.discipline,
+                                             sim::UnslottedConfig{}, seed));
+    wounded.install_faults(plan);
+    wounded.step(last_fault + 1);
+    EpochOverlay& overlay = wounded.faults()->overlay();
+    const EpochOverlay::Compaction compaction = overlay.compact();
+    const Graph& g2 = compaction.graph;
+    sim::Engine eng(g2, s.make_factory(g2), seed, std::move(scheduler),
+                    sim::make_discipline(s.discipline, sim::UnslottedConfig{},
+                                         seed));
+    result.completed = eng.step(s.max_rounds);
+    result.status = result.completed ? sim::RunStatus::kCompleted
+                                     : sim::RunStatus::kSlotCapReached;
+    result.metrics = eng.metrics();
+    result.faults = wounded.faults()->stats();
+    const std::uint64_t first = plan.first_fault_slot();
+    const std::uint64_t phase_a =
+        s.fault_epoch_slots > first ? s.fault_epoch_slots - first : 0;
+    result.recovery_slots = phase_a + eng.metrics().rounds;
+    result.faults.recovery_slots = result.recovery_slots;
+    if (s.digest) {
+      result.digest = digest_mix(
+          s.digest(NodeResults{g2.num_nodes(),
+                               [&eng](NodeId v) -> const sim::Process& {
+                                 return eng.process(v);
+                               }}),
+          overlay.digest_word());
+    }
+    return result;
+  }
+
   if (engine == EngineKind::kSync) {
     sim::Engine eng(g,
                     s.make_load_factory ? s.make_load_factory(g, offered)
@@ -64,12 +131,23 @@ RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
                     seed, std::move(scheduler),
                     sim::make_discipline(s.discipline, sim::UnslottedConfig{},
                                          seed));
+    if (faulted) eng.install_faults(plan);
     result.completed = eng.step(s.max_rounds);
+    result.status = result.completed ? sim::RunStatus::kCompleted
+                                     : sim::RunStatus::kSlotCapReached;
     result.metrics = eng.metrics();
     if (s.digest) {
       result.digest = s.digest(NodeResults{
           g.num_nodes(),
           [&eng](NodeId v) -> const sim::Process& { return eng.process(v); }});
+    }
+    if (faulted) {
+      result.faults = eng.faults()->stats();
+      // The fault trajectory is part of the run's identity: fold it so the
+      // scheduler-equivalence suites cover drop accounting too.
+      if (s.digest) {
+        result.digest = digest_mix(result.digest, result.faults.digest_word());
+      }
     }
     return result;
   }
@@ -82,9 +160,10 @@ RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
                          s.async_max_delay_slots, std::move(scheduler),
                          sim::make_discipline(s.discipline,
                                               sim::UnslottedConfig{}, seed));
+    if (faulted) eng.install_faults(plan);
     result.metrics = eng.run(s.max_rounds);
-    result.completed =
-        eng.status() == sim::AsyncEngine::RunStatus::kCompleted;
+    result.status = eng.status();
+    result.completed = result.status == sim::RunStatus::kCompleted;
     if (s.digest) {
       result.digest = s.digest(NodeResults{
           g.num_nodes(), nullptr,
@@ -92,8 +171,16 @@ RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
             return eng.process(v);
           }});
     }
+    if (faulted) {
+      result.faults = eng.faults()->stats();
+      if (s.digest) {
+        result.digest = digest_mix(result.digest, result.faults.digest_word());
+      }
+    }
     return result;
   }
+  MMN_REQUIRE(!faulted,
+              "fault injection is not supported on the synchronizer path");
   MMN_REQUIRE(s.channel_free,
               "scenario uses the channel and cannot run under the "
               "synchronizer on the asynchronous engine");
@@ -106,8 +193,8 @@ RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
                        s.async_max_delay_slots, std::move(scheduler),
                        std::move(discipline));
   result.metrics = eng.run(s.max_rounds);
-  result.completed =
-      eng.status() == sim::AsyncEngine::RunStatus::kCompleted;
+  result.status = eng.status();
+  result.completed = result.status == sim::RunStatus::kCompleted;
   if (s.digest && result.completed) {
     result.digest = s.digest(NodeResults{
         g.num_nodes(), [&eng](NodeId v) -> const sim::Process& {
@@ -670,6 +757,127 @@ void register_all() {
            "Saturated Poisson stations, stabilized Aloha on an implicit clique",
            TopoKind::kCliqueImplicit, sim::ArrivalKind::kPoisson, 0.9,
            sim::DisciplineKind::kPseudoBayesian, {64, 128});
+  // Deferring disciplines on the native-async path (the synchronizer would
+  // reject them; open-loop stations don't read idle slots, so they are fine
+  // here).  TDMA is stable at any offered load below 1; Capetanakis tree
+  // splitting saturates near 0.5 packets/slot — 0.4 sits inside capacity.
+  add_load("load/poisson/tdma/ring",
+           "Open-loop Poisson stations under fixed TDMA slot ownership",
+           TopoKind::kRing, sim::ArrivalKind::kPoisson, 0.5,
+           sim::DisciplineKind::kTdma, {64, 128});
+  add_load("load/poisson/cape/ring",
+           "Open-loop Poisson stations under Capetanakis tree splitting",
+           TopoKind::kRing, sim::ArrivalKind::kPoisson, 0.4,
+           sim::DisciplineKind::kCapetanakis, {64, 128});
+
+  // ---- fault-injection family (sim/fault.hpp) ----------------------------
+  //
+  // The recovery entries pin protocol re-convergence after topology damage:
+  // phase A runs the protocol into k connectivity-safe link kills, the epoch
+  // overlay compacts the surviving graph, and phase B must re-converge to a
+  // valid result on it — the digest (protocol result + kill-set word) is
+  // deterministic per (n, seed, k) and invariant to the epoch boundary.  The
+  // churn entry runs the open-loop reservation MAC through rate-driven link
+  // and station churn; its FaultStats fold into the digest, so the
+  // equivalence suites cover drop accounting across schedulers too.
+
+  {
+    Scenario s;
+    s.name = "fault/partition/det/random";
+    s.description =
+        "Section 3 partition re-converging after k mid-run link kills";
+    s.topology = TopoKind::kRandom;
+    s.make_factory = [](const Graph&) -> sim::ProcessFactory {
+      return [](const sim::LocalView& v) {
+        return std::make_unique<PartitionDetProcess>(v, PartitionDetConfig{});
+      };
+    };
+    s.digest = fragment_digest;
+    s.sweep_n = {64, 128};
+    s.make_fault_plan = [](const Graph& g, std::uint32_t k,
+                           std::uint64_t seed) {
+      return sim::FaultPlan::link_kills(g, k, /*slot=*/24, seed);
+    };
+    s.default_faults = 4;
+    s.fault_recovery = true;
+    s.fault_epoch_slots = 96;
+    r.add(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "fault/mst/random";
+    s.description =
+        "Section 6 multimedia MST rebuilt after k mid-run link kills";
+    s.topology = TopoKind::kRandom;
+    s.make_factory = [](const Graph&) -> sim::ProcessFactory {
+      return [](const sim::LocalView& v) {
+        return std::make_unique<MstProcess>(v);
+      };
+    };
+    s.digest = [](const NodeResults& results) {
+      return fold_nodes(results, [](const sim::Process& p, NodeId) {
+        const auto& mst = dynamic_cast<const MstProcess&>(p);
+        std::vector<EdgeId> edges = mst.mst_edges();
+        std::sort(edges.begin(), edges.end());
+        std::uint64_t h = kDigestSeed;
+        for (EdgeId e : edges) h = digest_mix(h, e);
+        return h;
+      });
+    };
+    s.sweep_n = {64, 128};
+    s.make_fault_plan = [](const Graph& g, std::uint32_t k,
+                           std::uint64_t seed) {
+      return sim::FaultPlan::link_kills(g, k, /*slot=*/24, seed);
+    };
+    s.default_faults = 4;
+    s.fault_recovery = true;
+    s.fault_epoch_slots = 96;
+    r.add(std::move(s));
+  }
+
+  {
+    OpenLoopConfig base;
+    base.arrivals = sim::ArrivalKind::kPoisson;
+    base.horizon = 1200;
+    Scenario s;
+    s.name = "fault/load/churn/ring";
+    s.description =
+        "Reservation-MAC ring at offered 0.6 under link and station churn";
+    s.topology = TopoKind::kRing;
+    s.make_factory = [base](const Graph&) {
+      OpenLoopConfig c = base;
+      c.offered = 0.6;
+      return make_open_loop_factory(c);
+    };
+    s.digest = load_digest;
+    s.sweep_n = {64, 128};
+    s.max_rounds = base.horizon * 8 + 4096;
+    s.discipline = sim::DisciplineKind::kReservation;
+    s.default_load = 0.6;
+    s.make_load_factory = [base](const Graph&, double load) {
+      OpenLoopConfig c = base;
+      c.offered = load;
+      return make_open_loop_factory(c);
+    };
+    s.make_async_load_factory = [base](const Graph&, double load) {
+      OpenLoopConfig c = base;
+      c.offered = load;
+      return make_open_loop_async_factory(c);
+    };
+    // Intensity k scales both churn rates; stations stay down 40 slots.
+    const std::uint64_t horizon = base.horizon;
+    s.make_fault_plan = [horizon](const Graph& g, std::uint32_t k,
+                                  std::uint64_t seed) {
+      sim::FaultPlan plan =
+          sim::FaultPlan::link_churn(g, 0.004 * k, horizon, seed);
+      plan.merge(sim::FaultPlan::node_churn(g, 0.001 * k, /*down_slots=*/40,
+                                            horizon, seed));
+      return plan;
+    };
+    s.default_faults = 1;
+    r.add(std::move(s));
+  }
 }
 
 }  // namespace

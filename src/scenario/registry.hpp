@@ -28,6 +28,7 @@
 #include "graph/graph.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "support/metrics.hpp"
 
 namespace mmn::scenario {
@@ -104,6 +105,28 @@ struct Scenario {
   /// requirement applies only to the synchronizer path).
   std::function<sim::AsyncProcessFactory(const Graph& g, double load)>
       make_async_load_factory = nullptr;
+
+  /// Fault-injection hooks (sim/fault.hpp).  A scenario with make_fault_plan
+  /// set is fault-capable: run() builds the plan at intensity k — the
+  /// caller's --faults= knob, falling back to default_faults when the caller
+  /// passes 0 — and installs it on the engine.  The plan is a pure function
+  /// of (g, k, seed), so faulted runs stay deterministic and
+  /// scheduler-independent like everything else in the table.
+  std::function<sim::FaultPlan(const Graph& g, std::uint32_t k,
+                               std::uint64_t seed)>
+      make_fault_plan = nullptr;
+  std::uint32_t default_faults = 0;  ///< k when the caller passes 0
+
+  /// Recovery flow (the fault/ convergence scenarios).  When set, a faulted
+  /// run is two-phase: phase A steps the faulted protocol serially to
+  /// fault_epoch_slots rounds, then the epoch overlay compacts the surviving
+  /// topology into a fresh arena and phase B re-runs the protocol from
+  /// scratch on it under the caller's scheduler/engine.  The digest folds
+  /// phase B's protocol result with the overlay's kill-set word — both are
+  /// invariant to where the epoch boundary lands, so recovery digests pin
+  /// re-convergence without being sensitive to drop timing.
+  bool fault_recovery = false;
+  std::uint64_t fault_epoch_slots = 0;
 };
 
 struct RunResult {
@@ -115,6 +138,15 @@ struct RunResult {
   /// slot count, so capped results remain scheduler-comparable (the
   /// free-for-all load scenarios livelock past saturation by design).
   bool completed = true;
+  /// Engine-uniform status: kCompleted, or kSlotCapReached when the cap
+  /// elapsed (mirrors `completed`; neither engine aborts on a capped run).
+  sim::RunStatus status = sim::RunStatus::kCompleted;
+  /// Fault accounting of a faulted run; zeroed on fault-free runs.  On
+  /// recovery scenarios this is phase A's tally with recovery_slots filled.
+  sim::FaultStats faults;
+  /// Recovery scenarios: slots from the first fault event until phase B
+  /// re-converged (phase-A remainder + phase-B rounds).
+  std::uint64_t recovery_slots = 0;
 };
 
 class Registry {
@@ -149,10 +181,13 @@ Graph make_scenario_graph(const Scenario& s, NodeId n, std::uint64_t seed);
 /// synchronizer.  A run that exhausts s.max_rounds rounds/slots reports
 /// completed == false instead of aborting.  `load` > 0 selects the offered
 /// load of a load-capable scenario (0 = its default_load; rejected for
-/// scenarios without make_load_factory).
+/// scenarios without make_load_factory).  `faults` > 0 selects the fault
+/// intensity of a fault-capable scenario (0 = its default_faults; rejected
+/// for scenarios without make_fault_plan).
 RunResult run(const Scenario& s, NodeId n, std::uint64_t seed,
               std::unique_ptr<sim::Scheduler> scheduler = nullptr,
-              EngineKind engine = EngineKind::kSync, double load = 0.0);
+              EngineKind engine = EngineKind::kSync, double load = 0.0,
+              std::uint32_t faults = 0);
 
 /// FNV-1a fold helper for digest implementations.
 inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t word) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 
 namespace mmn::sim {
@@ -31,6 +32,13 @@ AsyncEngine::AsyncEngine(const Graph& g, const AsyncProcessFactory& factory,
 
 AsyncEngine::~AsyncEngine() = default;
 
+void AsyncEngine::install_faults(const FaultPlan& plan) {
+  MMN_REQUIRE(!started_ && faults_ == nullptr,
+              "install_faults: once, before the first slot");
+  faults_ = std::make_unique<FaultRuntime>(core_.graph(), plan);
+  core_.set_fault_runtime(faults_.get());
+}
+
 AsyncProcess& AsyncEngine::process(NodeId v) {
   MMN_REQUIRE(v < processes_.size(), "node id out of range");
   return *processes_[v];
@@ -53,9 +61,14 @@ void AsyncEngine::note_finished(unsigned shard, NodeId v) {
 }
 
 void AsyncEngine::start_node(unsigned shard, NodeId v) {
+  const EpochOverlay* overlay = nullptr;
+  if (faults_ != nullptr) [[unlikely]] {
+    overlay = &faults_->overlay();
+    if (!overlay->node_alive(v)) return;  // crashed at time zero
+  }
   AsyncContext ctx(core_.view(v), core_.rng(v), core_.shard(shard),
                    slot_index_, max_delay_ticks_, &last_write_slot_[v],
-                   /*now=*/0);
+                   /*now=*/0, overlay);
   processes_[v]->start(ctx);
   note_finished(shard, v);
 }
@@ -75,9 +88,20 @@ void AsyncEngine::deliver_node(unsigned shard, NodeId v) {
   SlotBuckets& buckets = core_.slot_buckets();
   const std::span<const StampedHeader> msgs = buckets.inbox(v);
   if (msgs.empty()) return;
+  const EpochOverlay* overlay = nullptr;
+  if (faults_ != nullptr) [[unlikely]] {
+    overlay = &faults_->overlay();
+    if (!overlay->node_alive(v)) {
+      // A crashed node's deliveries are lost-and-counted; the staged
+      // payloads are released wholesale by the next stage() call, so
+      // skipping the handlers leaks nothing.
+      core_.shard(shard).fault_drops += msgs.size();
+      return;
+    }
+  }
   AsyncContext ctx(core_.view(v), core_.rng(v), core_.shard(shard),
                    slot_index_, max_delay_ticks_, &last_write_slot_[v],
-                   /*now=*/0);
+                   /*now=*/0, overlay);
   for (const StampedHeader& m : msgs) {
     ctx.set_now(m.tick);
     // Materialize the Received view over the pooled payload; the pool is
@@ -110,9 +134,14 @@ void AsyncEngine::run_delivery_phase() {
 
 void AsyncEngine::fanout_node(unsigned shard, NodeId v,
                               const SlotObservation& obs) {
+  const EpochOverlay* overlay = nullptr;
+  if (faults_ != nullptr) [[unlikely]] {
+    overlay = &faults_->overlay();
+    if (!overlay->node_alive(v)) return;  // crashed nodes do not step
+  }
   AsyncContext ctx(core_.view(v), core_.rng(v), core_.shard(shard),
                    slot_index_, max_delay_ticks_, &last_write_slot_[v],
-                   slot_index_ * kTicksPerSlot);
+                   slot_index_ * kTicksPerSlot, overlay);
   processes_[v]->on_slot(obs, ctx);
   note_finished(shard, v);
 }
@@ -134,9 +163,22 @@ void AsyncEngine::run_slot_fanout(const SlotObservation& obs) {
 
 bool AsyncEngine::step(std::uint64_t slots) {
   if (status_ != RunStatus::kCompleted) status_ = RunStatus::kRunning;
-  if (!started_) start_processes();
+  if (!started_) {
+    // Slot-0 fault events apply before time zero: a node crashed at slot 0
+    // never runs start().
+    if (faults_ != nullptr) [[unlikely]] {
+      faults_->apply_slot(slot_index_, core_.discipline());
+    }
+    start_processes();
+  }
   for (std::uint64_t i = 0; i < slots; ++i) {
     if (status_ == RunStatus::kCompleted) return true;
+    // Fault events due this slot apply at the boundary, single-threaded,
+    // before the delivery phase — every phase of the slot sees the same
+    // topology under every scheduler.
+    if (faults_ != nullptr) [[unlikely]] {
+      faults_->apply_slot(slot_index_, core_.discipline());
+    }
     // One slot = delivery phase, channel resolution at the boundary, then
     // the outcome fans out to every node (which may start the next slot's
     // writes and sends).

@@ -79,13 +79,18 @@ class AsyncProcess {
 /// during the on_slot fan-out.
 class AsyncContext final {
  public:
+  /// `faults` is the run's epoch overlay when fault injection is installed
+  /// (read-only during a phase — events apply at slot boundaries), null on
+  /// the fault-free fast path.
   AsyncContext(const LocalView& view, Rng& rng, ShardBuffer& shard,
                std::uint64_t slot_index, std::uint32_t max_delay_ticks,
-               std::uint64_t* last_write_slot, std::uint64_t now)
+               std::uint64_t* last_write_slot, std::uint64_t now,
+               const EpochOverlay* faults = nullptr)
       : view_(&view),
         rng_(&rng),
         shard_(&shard),
         last_write_slot_(last_write_slot),
+        faults_(faults),
         slot_index_(slot_index),
         now_(now),
         max_delay_ticks_(max_delay_ticks) {}
@@ -106,6 +111,15 @@ class AsyncContext final {
     MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
                 "packet exceeds the O(log n) bound");
     const Neighbor nb = view_->links()[static_cast<std::uint32_t>(idx)];
+    if (faults_ != nullptr &&
+        (!faults_->link_alive(edge) || !faults_->node_alive(nb.to)))
+        [[unlikely]] {
+      // Dropped at the sender; no delay is drawn — the packet never enters
+      // the medium.  (The overlay is identical under every scheduler, so
+      // the per-node RNG streams stay in lockstep too.)
+      ++shard_->fault_drops;
+      return;
+    }
     const std::uint64_t delay = 1 + rng_->next_below(max_delay_ticks_);
     shard_->async_outbox.push_back(AsyncMsgHeader{
         now_ + delay, nb.to, view_->self, edge, shard_->stage_packet(packet)});
@@ -124,6 +138,29 @@ class AsyncContext final {
     const NeighborRange links = view_->links();
     const std::size_t deg = links.size();
     if (deg == 0) return;
+    if (faults_ != nullptr) [[unlikely]] {
+      // Fault path mirrors NodeContext::broadcast: per-link liveness gate,
+      // payload staged lazily, survivors share one interned ref.  Dead
+      // links draw no delay.
+      PacketRef ref = 0;
+      bool staged = false;
+      for (std::size_t i = 0; i < deg; ++i) {
+        const Neighbor nb = links[i];
+        if (!faults_->link_alive(nb.edge) || !faults_->node_alive(nb.to)) {
+          ++shard_->fault_drops;
+          continue;
+        }
+        if (!staged) {
+          ref = shard_->stage_packet(packet);
+          staged = true;
+        }
+        const std::uint64_t delay = 1 + rng_->next_below(max_delay_ticks_);
+        shard_->async_outbox.push_back(
+            AsyncMsgHeader{now_ + delay, nb.to, view_->self, nb.edge, ref});
+        ++shard_->p2p_sent;
+      }
+      return;
+    }
     const PacketRef ref = shard_->stage_packet(packet);
     for (std::size_t i = 0; i < deg; ++i) {
       const Neighbor nb = links[i];
@@ -168,6 +205,7 @@ class AsyncContext final {
   Rng* rng_;
   ShardBuffer* shard_;
   std::uint64_t* last_write_slot_;  ///< this node's write-dedup slot
+  const EpochOverlay* faults_ = nullptr;  ///< null => fault-free fast path
   std::uint64_t slot_index_;
   std::uint64_t now_;
   std::uint32_t max_delay_ticks_;
@@ -176,16 +214,17 @@ class AsyncContext final {
 using AsyncProcessFactory =
     std::function<std::unique_ptr<AsyncProcess>(const LocalView&)>;
 
+class FaultPlan;
+class FaultRuntime;
+
 class AsyncEngine {
  public:
   static constexpr std::uint64_t kTicksPerSlot = 16;
 
-  /// Outcome of the last run()/step() call.
-  enum class RunStatus : std::uint8_t {
-    kRunning,         ///< step() budget elapsed with work still pending
-    kCompleted,       ///< every process finished, no in-flight state left
-    kSlotCapReached,  ///< run() hit max_slots — a liveness failure
-  };
+  /// Outcome of the last run()/step() call — the shared engine status
+  /// (sim/runtime_core.hpp); the nested alias keeps the PR 2 spelling
+  /// `AsyncEngine::RunStatus::kCompleted` working.
+  using RunStatus = sim::RunStatus;
 
   /// max_delay_slots >= 1: upper bound on message delay, in slot lengths.
   /// `g` must outlive the engine — node views are zero-copy windows into
@@ -217,6 +256,16 @@ class AsyncEngine {
   RunStatus status() const { return status_; }
   const Metrics& metrics() const { return core_.metrics(); }
 
+  /// Installs deterministic fault injection (sim/fault.hpp).  Must be
+  /// called before the first slot; events apply at slot boundaries, before
+  /// the slot's delivery phase.  Messages already in flight over a link
+  /// that dies mid-flight still deliver — faults gate the send commit.
+  void install_faults(const FaultPlan& plan);
+
+  /// The installed fault runtime (stats + overlay), or null.
+  const FaultRuntime* faults() const { return faults_.get(); }
+  FaultRuntime* faults() { return faults_.get(); }
+
   /// Per-class delay/backlog accounting of open-loop workloads
   /// (sim/traffic.hpp); untouched by closed-loop protocols.
   const LatencyRecorder& latency() const { return core_.latency(); }
@@ -240,6 +289,7 @@ class AsyncEngine {
 
   RuntimeCore core_;
   std::vector<std::unique_ptr<AsyncProcess>> processes_;
+  std::unique_ptr<FaultRuntime> faults_;  // null on the fault-free fast path
   std::vector<std::uint64_t> last_write_slot_;  // per-node write dedup
   std::vector<char> finished_flag_;  // per node; char: shard-safe writes
   std::vector<ShardOutstanding> outstanding_;  // batched finished() probe

@@ -77,6 +77,13 @@ SlotObservation TdmaDiscipline::slot(std::span<const ChannelWrite> writes,
 
 // ---- Capetanakis -----------------------------------------------------------
 
+void TdmaDiscipline::stifle(NodeId v) {
+  if (v < pending_.size() && pending_[v].has_value()) {
+    pending_[v].reset();
+    --backlog_;
+  }
+}
+
 void CapetanakisDiscipline::reset(NodeId n) {
   MMN_REQUIRE(n >= 1, "tree resolution needs a non-empty id space");
   n_ = n;
@@ -123,7 +130,23 @@ SlotObservation CapetanakisDiscipline::slot(std::span<const ChannelWrite> writes
   return obs;
 }
 
+void CapetanakisDiscipline::stifle(NodeId v) {
+  // Mid-traversal removal is benign: the probe interval that held v now
+  // reads one contender lighter (possibly idle) and the resolver follows
+  // the channel feedback as always; the traversal still retires every
+  // remaining contender.  std::map::erase frees, never allocates.
+  epoch_.erase(v);
+  waiting_.erase(v);
+}
+
 // ---- pseudo-Bayesian stabilized Aloha --------------------------------------
+
+void PseudoBayesianDiscipline::stifle(NodeId v) {
+  if (v < pending_.size() && pending_[v].has_value()) {
+    pending_[v].reset();
+    --backlog_;
+  }
+}
 
 void PseudoBayesianDiscipline::reset(NodeId n) {
   MMN_REQUIRE(n >= 1, "stabilized Aloha needs at least one station");
@@ -234,6 +257,28 @@ SlotObservation ReservationDiscipline::slot(std::span<const ChannelWrite> writes
     --data_backlog_;
   }
   return obs;
+}
+
+void ReservationDiscipline::stifle(NodeId v) {
+  if (v >= queued_.size()) return;
+  if (queued_[v]) {
+    // Compact v out of the FIFO ring in place, preserving grant order for
+    // everyone else.  O(queue occupancy) and allocation-free — crashes are
+    // rare slot-boundary events, not hot-path work.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < queue_size_; ++i) {
+      const NodeId u = queue_[(queue_head_ + i) % queue_.size()];
+      if (u == v) continue;
+      queue_[(queue_head_ + kept) % queue_.size()] = u;
+      ++kept;
+    }
+    queue_size_ = kept;
+    queued_[v] = 0;
+  }
+  if (data_pending_[v].has_value()) {
+    data_pending_[v].reset();
+    --data_backlog_;
+  }
 }
 
 // ---- unslotted busy-tone emulation -----------------------------------------

@@ -69,6 +69,13 @@ class ChannelDiscipline {
   /// it was registered for.  Deferring disciplines cannot drive protocols
   /// that read idle slots as "nobody is busy" (the synchronizer).
   virtual bool defers() const { return false; }
+
+  /// Withdraws node v's deferred channel state (sim/fault.hpp calls this
+  /// when v crashes): its pending/queued writes vanish from the backlog so
+  /// a crashed station never transmits from beyond the grave.  Called
+  /// single-threaded at a slot boundary; must not allocate.  Non-deferring
+  /// disciplines hold no state, hence the no-op default.
+  virtual void stifle(NodeId v) { (void)v; }
 };
 
 /// The named disciplines, for scenario registration and factories.
@@ -115,6 +122,7 @@ class TdmaDiscipline final : public ChannelDiscipline {
                        Metrics& metrics) override;
   std::size_t backlog() const override { return backlog_; }
   bool defers() const override { return true; }
+  void stifle(NodeId v) override;
 
  private:
   NodeId n_ = 0;
@@ -138,6 +146,7 @@ class CapetanakisDiscipline final : public ChannelDiscipline {
                        Metrics& metrics) override;
   std::size_t backlog() const override { return epoch_.size() + waiting_.size(); }
   bool defers() const override { return true; }
+  void stifle(NodeId v) override;
 
  private:
   NodeId n_ = 0;
@@ -198,6 +207,7 @@ class PseudoBayesianDiscipline final : public ChannelDiscipline {
                        Metrics& metrics) override;
   std::size_t backlog() const override { return backlog_; }
   bool defers() const override { return true; }
+  void stifle(NodeId v) override;
 
  private:
   Rng rng_;
@@ -232,6 +242,7 @@ class ReservationDiscipline final : public ChannelDiscipline {
                        Metrics& metrics) override;
   std::size_t backlog() const override { return queue_size_ + data_backlog_; }
   bool defers() const override { return true; }
+  void stifle(NodeId v) override;
 
  private:
   Rng rng_;                     // data-lane lottery draws

@@ -1,8 +1,8 @@
 #include "sim/engine.hpp"
 
-#include <string>
 #include <utility>
 
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 
 namespace mmn::sim {
@@ -47,8 +47,18 @@ const Process& Engine::process(NodeId v) const {
 /// visible effect into the shard's buffer — the core commits shards in
 /// ascending order, so the trace is scheduler-independent.
 void Engine::node_round(unsigned shard, NodeId v) {
+  const EpochOverlay* overlay = nullptr;
+  if (faults_ != nullptr) [[unlikely]] {
+    overlay = &faults_->overlay();
+    if (!overlay->node_alive(v)) {
+      // A crashed node does not step; whatever was delivered to it this
+      // round is lost-and-counted, not processed.
+      core_.shard(shard).fault_drops += core_.inbox(v).size();
+      return;
+    }
+  }
   NodeContext ctx(core_.view(v), core_.rng(v), core_.inbox(v), core_.slot(),
-                  core_.round(), core_.shard(shard));
+                  core_.round(), core_.shard(shard), overlay);
   processes_[v]->round(ctx);
   const char done = processes_[v]->finished() ? 1 : 0;
   if (done != finished_flag_[v]) {
@@ -58,6 +68,11 @@ void Engine::node_round(unsigned shard, NodeId v) {
 }
 
 void Engine::run_one_round() {
+  // Fault events scheduled for this slot apply before any shard steps, on
+  // one thread — every node of the round sees the same topology.
+  if (faults_ != nullptr) [[unlikely]] {
+    faults_->apply_slot(core_.round(), core_.discipline());
+  }
   core_.run_round(Scheduler::NodeFn{
       [](void* env, unsigned s, NodeId v) {
         static_cast<Engine*>(env)->node_round(s, v);
@@ -65,22 +80,35 @@ void Engine::run_one_round() {
       this});
 }
 
+void Engine::install_faults(const FaultPlan& plan) {
+  MMN_REQUIRE(core_.round() == 0 && faults_ == nullptr,
+              "install_faults: once, before the first round");
+  faults_ = std::make_unique<FaultRuntime>(core_.graph(), plan);
+  core_.set_fault_runtime(faults_.get());
+}
+
 bool Engine::step(std::uint64_t rounds) {
   // Like AsyncEngine, completion additionally requires an idle channel: a
   // deferring discipline (TDMA, Capetanakis) may still hold a write that
   // was registered but not yet transmitted, and dropping it would silently
   // diverge from the non-deferring run of the same workload.
+  if (status_ != RunStatus::kCompleted) status_ = RunStatus::kRunning;
   for (std::uint64_t i = 0; i < rounds; ++i) {
-    if (all_finished() && core_.channel_idle()) return true;
+    if (all_finished() && core_.channel_idle()) {
+      status_ = RunStatus::kCompleted;
+      return true;
+    }
     run_one_round();
   }
-  return all_finished() && core_.channel_idle();
+  if (all_finished() && core_.channel_idle()) {
+    status_ = RunStatus::kCompleted;
+    return true;
+  }
+  return false;
 }
 
 Metrics Engine::run(std::uint64_t max_rounds) {
-  const bool done = step(max_rounds);
-  MMN_ASSERT(done, "protocol did not terminate within " +
-                       std::to_string(max_rounds) + " rounds");
+  if (!step(max_rounds)) status_ = RunStatus::kSlotCapReached;
   return core_.metrics();
 }
 

@@ -39,6 +39,9 @@
 
 namespace mmn::sim {
 
+class FaultPlan;
+class FaultRuntime;
+
 class Engine {
  public:
   /// Builds the network: one process per node of g.  `g` must outlive the
@@ -59,13 +62,29 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Runs until every process is finished and the channel is idle (no write
-  /// staged, nothing deferred inside the discipline); aborts if max_rounds
-  /// elapse first (a liveness failure in the protocol under test).
+  /// staged, nothing deferred inside the discipline), or until max_rounds
+  /// elapse — then status() reports kSlotCapReached instead of aborting,
+  /// the same non-aborting surface AsyncEngine has had since PR 2.  The
+  /// returned metrics are well-formed either way.
   Metrics run(std::uint64_t max_rounds);
 
   /// Runs at most `rounds` additional rounds; returns true if all finished
   /// and the channel is idle.
   bool step(std::uint64_t rounds);
+
+  /// Outcome of the last run()/step() call (kRunning after a step() that
+  /// ran out of rounds; run() maps that to kSlotCapReached).
+  RunStatus status() const { return status_; }
+
+  /// Installs deterministic fault injection (sim/fault.hpp).  Must be
+  /// called before the first round; the plan's events apply at slot
+  /// boundaries, before the round's node phase.  One installation per
+  /// engine — recovery flows build a fresh engine on the compacted graph.
+  void install_faults(const FaultPlan& plan);
+
+  /// The installed fault runtime (stats + overlay), or null.
+  const FaultRuntime* faults() const { return faults_.get(); }
+  FaultRuntime* faults() { return faults_.get(); }
 
   const Metrics& metrics() const { return core_.metrics(); }
 
@@ -88,6 +107,8 @@ class Engine {
 
   RuntimeCore core_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<FaultRuntime> faults_;  // null on the fault-free fast path
+  RunStatus status_ = RunStatus::kRunning;
   std::vector<char> finished_flag_;  // per node; char: shard-safe writes
   /// Per-shard count of unfinished nodes in the shard's static node range.
   /// Written only by the shard's own worker (cache-line aligned), summed by

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstring>
 
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 #include "support/simd.hpp"
 
@@ -302,6 +303,10 @@ void RuntimeCore::run_round(Scheduler::NodeFn fn) {
     sb.channel_writes.clear();
     metrics_.p2p_messages += sb.p2p_sent;
     sb.p2p_sent = 0;
+    if (faults_ != nullptr) {
+      faults_->stats().drops += sb.fault_drops;
+      sb.fault_drops = 0;
+    }
   }
   slot_ = resolve_slot();
   arena_.flip(shards_);  // clears the shard outboxes, recycles the pools
@@ -331,6 +336,9 @@ void RuntimeCore::commit_async_phase() {
       }
     }
     metrics_.p2p_messages += sb.p2p_sent;
+    if (faults_ != nullptr) {
+      faults_->stats().drops += sb.fault_drops;
+    }
     sb.clear_round();
   }
 }

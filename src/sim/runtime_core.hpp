@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/epoch.hpp"
 #include "graph/graph.hpp"
 #include "sim/channel.hpp"
 #include "sim/channel_discipline.hpp"
@@ -44,6 +45,19 @@
 #include "support/rng.hpp"
 
 namespace mmn::sim {
+
+class FaultRuntime;
+
+/// Outcome of an engine's last step()/run() call.  Shared by both stepping
+/// policies: AsyncEngine has reported it since PR 2; the synchronous Engine
+/// grew the same non-aborting surface in the fault PR.  kSlotCapReached
+/// means the budget ran out with work outstanding — the run is capped, not
+/// corrupted: metrics, latency summaries, and digests are all well-formed.
+enum class RunStatus : std::uint8_t {
+  kRunning,
+  kCompleted,
+  kSlotCapReached,
+};
 
 /// One incident link as known locally by a node — the graph layer's packed
 /// adjacency row itself (graph/graph.hpp).  The former sim-local twin
@@ -131,6 +145,11 @@ struct alignas(64) ShardBuffer {
   std::uint64_t pool_bytes = 0;   ///< live payload bytes staged this round
   std::vector<ChannelWrite> channel_writes;
   std::uint64_t p2p_sent = 0;
+  /// Sends this shard's nodes aimed at a dead link or dead endpoint this
+  /// round (sim/fault.hpp), plus inboxes of crashed nodes the engine
+  /// skipped.  Merged shard-major into FaultStats::drops — a pure sum, so
+  /// the merge order only matters for uniformity with every other effect.
+  std::uint64_t fault_drops = 0;
   /// This shard's delay-histogram block (sim/traffic.hpp), wired by
   /// RuntimeCore at construction.  Written only by the shard's own worker,
   /// like everything else here; merged shard-major on read.
@@ -161,6 +180,7 @@ struct alignas(64) ShardBuffer {
     pool_bytes = 0;
     channel_writes.clear();
     p2p_sent = 0;
+    fault_drops = 0;
   }
 };
 
@@ -209,13 +229,17 @@ class NodeContext final {
   };
 
   /// Engine staging path: effects go to `shard`, merged after the barrier.
+  /// `faults` is the run's epoch overlay when fault injection is installed
+  /// (read-only during the round — events apply at slot boundaries), null on
+  /// the fault-free fast path.
   NodeContext(const LocalView& view, Rng& rng, std::span<const Received> inbox,
               const SlotObservation& slot, std::uint64_t round,
-              ShardBuffer& shard)
+              ShardBuffer& shard, const EpochOverlay* faults = nullptr)
       : view_(&view),
         rng_(&rng),
         slot_(&slot),
         shard_(&shard),
+        faults_(faults),
         inbox_(inbox),
         round_(round) {}
 
@@ -255,6 +279,12 @@ class NodeContext final {
     MMN_REQUIRE(packet.size() <= Packet::kMaxWords,
                 "packet exceeds the O(log n) bound");
     const Neighbor nb = view_->links()[static_cast<std::uint32_t>(idx)];
+    if (faults_ != nullptr &&
+        (!faults_->link_alive(edge) || !faults_->node_alive(nb.to)))
+        [[unlikely]] {
+      ++shard_->fault_drops;  // dropped at the sender; nothing left the node
+      return;
+    }
     shard_->outbox.push_back(
         MsgHeader{nb.to, view_->self, edge, shard_->stage_packet(packet)});
     ++shard_->p2p_sent;
@@ -282,6 +312,28 @@ class NodeContext final {
     const NeighborRange links = view_->links();
     const std::size_t deg = links.size();
     if (deg == 0) return;
+    if (faults_ != nullptr) [[unlikely]] {
+      // Fault path: per-link liveness gate, with the payload staged lazily
+      // so a fully dark neighborhood stages nothing at all.  Surviving
+      // links still share one interned payload.
+      PacketRef ref = 0;
+      bool staged = false;
+      for (std::size_t i = 0; i < deg; ++i) {
+        const Neighbor nb = links[i];
+        if (!faults_->link_alive(nb.edge) || !faults_->node_alive(nb.to)) {
+          ++shard_->fault_drops;
+          continue;
+        }
+        if (!staged) {
+          ref = shard_->stage_packet(packet);
+          staged = true;
+        }
+        shard_->outbox.push_back(MsgHeader{nb.to, view_->self, nb.edge, ref});
+        ++shard_->p2p_sent;
+        sent_message_ = true;
+      }
+      return;
+    }
     const PacketRef ref = shard_->stage_packet(packet);
     for (std::size_t i = 0; i < deg; ++i) {
       const Neighbor nb = links[i];
@@ -337,6 +389,7 @@ class NodeContext final {
   Rng* rng_;
   const SlotObservation* slot_;
   ShardBuffer* shard_ = nullptr;  ///< null => route through sink_
+  const EpochOverlay* faults_ = nullptr;  ///< null => fault-free fast path
   Sink sink_{};
   std::span<const Received> inbox_;
   std::uint64_t round_;
@@ -601,6 +654,12 @@ class RuntimeCore {
   std::span<const Received> inbox(NodeId v) const { return arena_.inbox(v); }
   Scheduler& scheduler() { return *scheduler_; }
   ShardBuffer& shard(unsigned s) { return shards_[s]; }
+  ChannelDiscipline& discipline() { return *discipline_; }
+
+  /// Installs the fault runtime whose drop counters the commit paths merge
+  /// into (null = fault-free; the default).  Owned by the engine.
+  void set_fault_runtime(FaultRuntime* faults) { faults_ = faults; }
+  FaultRuntime* fault_runtime() { return faults_; }
 
   /// One lockstep round: runs `fn` over every node under the scheduler, then
   /// commits deterministically — channel writes and p2p sends merged in
@@ -652,6 +711,7 @@ class RuntimeCore {
   std::vector<ChannelWrite> slot_writes_;  // staged for the current slot
   SlotObservation slot_;  // outcome of the previous round's slot
   Metrics metrics_;
+  FaultRuntime* faults_ = nullptr;  ///< engine-owned; drops merge here
   std::uint64_t round_ = 0;
 };
 

@@ -22,6 +22,7 @@
 #include "graph/generators.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
@@ -187,6 +188,56 @@ TEST(SteadyStateAllocation, AsyncEngineAllocatesNothingPerSlot) {
     EXPECT_EQ(allocs, 0u)
         << allocs << " heap allocations in " << kMeasuredRounds
         << " steady-state slots with " << threads << " thread(s)";
+  }
+}
+
+/// A churn plan whose events span warmup AND measured window: link outage
+/// windows cycling every 32 slots plus rate-driven station crash/recover
+/// pairs.  All FaultRuntime state (overlay bitsets, the sorted event list)
+/// is sized at install_faults; applying events, dropping dead-link sends,
+/// stifling crashed stations, and skipping crashed nodes are all in-place
+/// flips — so warmed-up churn rounds must stay at zero allocations, same
+/// as fault-free steady state (epoch compaction, the one allocating fault
+/// operation, only runs at explicit compact() calls, never per round).
+mmn::sim::FaultPlan churn_plan(const Graph& g, std::uint64_t horizon) {
+  FaultPlan plan;
+  plan.add_outage_windows(/*link=*/0, /*first_down=*/8, /*down_slots=*/16,
+                          /*up_slots=*/16, horizon);
+  plan.merge(FaultPlan::node_churn(g, /*rate=*/0.02, /*down_slots=*/24,
+                                   horizon, 11));
+  return plan;
+}
+
+TEST(SteadyStateAllocation, SyncChurnRoundsAllocateNothing) {
+  for (unsigned threads : {1u, 4u}) {
+    const Graph g = random_connected(96, 192, 11);
+    Engine engine(g, [](const LocalView& v) {
+      return std::make_unique<ChatterProcess>(v);
+    }, 11, threads <= 1 ? nullptr : make_scheduler(threads));
+    engine.install_faults(
+        churn_plan(g, kWarmupRounds + kMeasuredRounds + 64));
+    const std::uint64_t allocs =
+        measure([&engine](std::uint64_t rounds) { engine.step(rounds); });
+    EXPECT_EQ(allocs, 0u)
+        << allocs << " heap allocations in " << kMeasuredRounds
+        << " churn rounds with " << threads << " thread(s)";
+  }
+}
+
+TEST(SteadyStateAllocation, AsyncChurnSlotsAllocateNothing) {
+  for (unsigned threads : {1u, 4u}) {
+    const Graph g = random_connected(96, 192, 11);
+    AsyncEngine engine(g, [](const LocalView& v) {
+      return std::make_unique<AsyncChatterProcess>(v);
+    }, 11, /*max_delay_slots=*/2,
+        threads <= 1 ? nullptr : make_scheduler(threads));
+    engine.install_faults(
+        churn_plan(g, kWarmupRounds + kMeasuredRounds + 64));
+    const std::uint64_t allocs =
+        measure([&engine](std::uint64_t slots) { engine.step(slots); });
+    EXPECT_EQ(allocs, 0u)
+        << allocs << " heap allocations in " << kMeasuredRounds
+        << " churn slots with " << threads << " thread(s)";
   }
 }
 

@@ -277,7 +277,10 @@ TEST(Engine, MetricsCountRoundsAndMessages) {
   EXPECT_EQ(m.slots_idle, 3u);
 }
 
-TEST(Engine, AbortsWhenProtocolHangs) {
+TEST(Engine, ReportsSlotCapWhenProtocolHangs) {
+  // run() no longer aborts on a capped run — it mirrors the asynchronous
+  // engine's surface: the metrics of the capped prefix are returned and
+  // status() reports kSlotCapReached (scenario::run relays it uniformly).
   class NeverDone final : public Process {
    public:
     void round(NodeContext&) override {}
@@ -285,7 +288,9 @@ TEST(Engine, AbortsWhenProtocolHangs) {
   };
   const Graph g = path(2, 1);
   Engine engine(g, [](const LocalView&) { return std::make_unique<NeverDone>(); }, 7);
-  EXPECT_DEATH(engine.run(5), "did not terminate");
+  const Metrics m = engine.run(5);
+  EXPECT_EQ(m.rounds, 5u);
+  EXPECT_EQ(engine.status(), RunStatus::kSlotCapReached);
 }
 
 TEST(Engine, LocalViewExposesWeightSortedLinks) {

@@ -209,6 +209,53 @@ TEST(OpenLoopSaturation, StabilizedAlohaDrainsWhereFreeForAllCannot) {
   EXPECT_GT(pb_delivered, 300u);
 }
 
+TEST(OpenLoopSaturation, CappedRunsReportStatusWithIntactQos) {
+  // A run that exhausts its slot budget must never abort: it reports
+  // completed == false / kSlotCapReached with the QoS summaries of the
+  // capped prefix intact, on both engines, serial and parallel.
+  // Pseudo-Bayesian at offered 6.0 generates ~16x the stabilized capacity,
+  // so the drain window elapses with the backlog still standing.
+  const LoadReport serial =
+      sweep_point(sim::DisciplineKind::kPseudoBayesian, 6.0);
+  EXPECT_FALSE(serial.quiescent);
+  std::uint64_t delivered = 0;
+  for (const sim::QosSummary& cls : serial.classes) delivered += cls.delivered;
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(total_backlog(serial), 0u);
+  const LoadReport parallel =
+      sweep_point(sim::DisciplineKind::kPseudoBayesian, 6.0,
+                  sim::make_scheduler(4));
+  EXPECT_FALSE(parallel.quiescent);
+  EXPECT_EQ(parallel.digest, serial.digest);
+  for (std::size_t c = 0; c < sim::kNumQosClasses; ++c) {
+    EXPECT_EQ(parallel.classes[c].delivered, serial.classes[c].delivered);
+    EXPECT_EQ(parallel.classes[c].p99, serial.classes[c].p99);
+  }
+  // The same surface through the registry, both engines: the sync Engine
+  // no longer aborts on a capped run — scenario::run relays RunStatus
+  // uniformly.
+  scenario::register_builtin();
+  const scenario::Scenario* pb =
+      scenario::Registry::instance().find("load/poisson/pb/ring");
+  ASSERT_NE(pb, nullptr);
+  const scenario::RunResult sync_run = scenario::run(
+      *pb, 64, pb->default_seed, nullptr, scenario::EngineKind::kSync, 6.0);
+  EXPECT_FALSE(sync_run.completed);
+  EXPECT_EQ(sync_run.status, sim::RunStatus::kSlotCapReached);
+  const scenario::Scenario* ffa =
+      scenario::Registry::instance().find("load/poisson/ffa/ring");
+  ASSERT_NE(ffa, nullptr);
+  const scenario::RunResult async_run = scenario::run(
+      *ffa, 64, ffa->default_seed, nullptr, scenario::EngineKind::kAsync, 1.5);
+  EXPECT_FALSE(async_run.completed);
+  EXPECT_EQ(async_run.status, sim::RunStatus::kSlotCapReached);
+  const scenario::RunResult async_parallel = scenario::run(
+      *ffa, 64, ffa->default_seed, sim::make_scheduler(4),
+      scenario::EngineKind::kAsync, 1.5);
+  EXPECT_EQ(async_parallel.digest, async_run.digest);
+  EXPECT_EQ(async_parallel.status, async_run.status);
+}
+
 // ---- scheduler equivalence on the load path --------------------------------
 
 TEST(OpenLoopEquivalence, SerialAndParallelRunsAreBitIdentical) {

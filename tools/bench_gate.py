@@ -63,15 +63,20 @@ THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "nodes/s",
 # traffic (headers + delivery records + live payload prefixes, from
 # MessageArena::bytes_moved()) — deterministic, so growth means the hot
 # path started moving more data per round (e.g. payload copies crept back
-# in), not that the machine got slower.
-MEMORY_COUNTERS = ("bytes_per_node", "bytes_per_round", "p99_delay_slots")
+# in), not that the machine got slower.  recovery_slots is the fault/
+# recovery rows' first-fault-to-reconvergence latency in simulated slots —
+# a pure model output, so growth means the epoch-rebuild flow got slower
+# in model time, on any machine.
+MEMORY_COUNTERS = ("bytes_per_node", "bytes_per_round", "p99_delay_slots",
+                   "recovery_slots")
 
 # Deterministic model outputs (higher is better): pure functions of
 # (seed, load, discipline), independent of the machine, so a drop is a
 # behavior change, never noise — these fail even when the throughput gate
 # is disarmed by a machine-shape mismatch.  goodput_pps is the load/
-# sweep's delivered-packets-per-slot curve.
-MODEL_COUNTERS = ("goodput_pps",)
+# sweep's delivered-packets-per-slot curve; goodput_retention is the
+# fault/churn rows' faulted-over-clean delivery ratio.
+MODEL_COUNTERS = ("goodput_pps", "goodput_retention")
 
 # arena/ and buckets/ are the hot-path data-layout micro-counters
 # (MessageArena::flip, SlotBuckets::stage): the structures the SoA
@@ -83,8 +88,11 @@ MODEL_COUNTERS = ("goodput_pps",)
 # load/ gates the open-loop sweep three ways: goodput_pps (model, must
 # not drop), p99_delay_slots (model, must not grow), slots/s (wall-clock,
 # armed machines only).
+# fault/ gates the fault-injection bench: recovery_slots (model, must not
+# grow) on the recovery rows, goodput_retention (model, must not drop) on
+# the churn rows — both deterministic, so they gate on any machine shape.
 DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/", "arena/",
-                    "buckets/", "topology/", "roofline/", "load/")
+                    "buckets/", "topology/", "roofline/", "load/", "fault/")
 
 
 def load_benchmarks(path):
