@@ -15,6 +15,11 @@
 //                      MAC exists to flatten.  Deterministic; gated upward.
 //   voice_p99 / video_p99 / data_p99
 //                    — the same percentile per class, informational.
+//   voice_jitter / video_jitter / data_jitter
+//                    — per-class inter-delivery variance (delay standard
+//                      deviation, in slots; QosSummary::jitter).  The QoS
+//                      figure the percentile tail cannot show: a tight p99
+//                      can still wobble inside its bound.  Informational.
 //   backlog_pkts     — packets still queued when the run cut off.  Nonzero
 //                      here is the free-for-all livelock curve past
 //                      saturation, not an error.
@@ -92,6 +97,12 @@ void BM_LoadSweep(benchmark::State& state, sim::DisciplineKind discipline,
       static_cast<double>(report.classes[static_cast<std::size_t>(sim::QosClass::kVideo)].p99));
   state.counters["data_p99"] = benchmark::Counter(
       static_cast<double>(report.classes[static_cast<std::size_t>(sim::QosClass::kData)].p99));
+  state.counters["voice_jitter"] = benchmark::Counter(
+      report.classes[static_cast<std::size_t>(sim::QosClass::kVoice)].jitter());
+  state.counters["video_jitter"] = benchmark::Counter(
+      report.classes[static_cast<std::size_t>(sim::QosClass::kVideo)].jitter());
+  state.counters["data_jitter"] = benchmark::Counter(
+      report.classes[static_cast<std::size_t>(sim::QosClass::kData)].jitter());
   state.counters["backlog_pkts"] =
       benchmark::Counter(static_cast<double>(backlog));
   state.counters["delivered_pkts"] =

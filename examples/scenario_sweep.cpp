@@ -13,6 +13,15 @@
 //   $ ./example_scenario_sweep --n=65536 --scenario=global/min/rand/ring
 //   $ ./example_scenario_sweep 4 --n=16384 --scenario=global/sum/bcast/iclique
 //   $ ./example_scenario_sweep --scenario=load/poisson/resv/ring --load=0.9
+//   $ ./example_scenario_sweep --ranks=4 --scenario=global/min/rand/ring
+//
+// --ranks=K runs the synchronous rows sharded over K OS processes
+// (scenario/rank_run.hpp): each rank builds only its node window and the
+// rows — digest included — are bit-identical to the serial table's, which
+// is exactly what the CI serial-vs-sharded diff pins.  Rank mode is
+// synchronous-only, so the @async section is skipped, as are the two-phase
+// fault-recovery scenarios; it composes with --n/--load/--faults but not
+// with a thread count (one process per rank, serial inside).
 //
 // --n is STRICT: a size the topology family does not admit (a non-power-of-
 // two hypercube, a non-square grid) exits non-zero instead of silently
@@ -38,6 +47,7 @@
 #include <string>
 
 #include "graph/generators.hpp"
+#include "scenario/rank_run.hpp"
 #include "scenario/registry.hpp"
 #include "sim/channel_discipline.hpp"
 #include "sim/scheduler.hpp"
@@ -104,6 +114,7 @@ int main(int argc, char** argv) {
   NodeId requested_n = 0;  // 0 = each scenario's smallest sweep size
   double load = 0.0;       // 0 = each load scenario's default_load
   unsigned faults = 0;     // 0 = each fault scenario's default_faults
+  unsigned ranks = 1;      // 1 = in-process serial/parallel run
   std::string only;        // empty = every scenario
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -139,6 +150,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       faults = static_cast<unsigned>(parsed);
+    } else if (std::strncmp(arg, "--ranks=", 8) == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(arg + 8, &end, 10);
+      if (end == arg + 8 || *end != '\0' || errno == ERANGE || parsed < 1 ||
+          parsed > 64 || arg[8] == '-') {
+        std::fprintf(stderr, "bad --ranks value: %s\n", arg + 8);
+        return 2;
+      }
+      ranks = static_cast<unsigned>(parsed);
     } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
       only = arg + 11;
     } else {
@@ -153,6 +174,11 @@ int main(int argc, char** argv) {
       }
       threads = static_cast<unsigned>(parsed);
     }
+  }
+  if (ranks > 1 && threads > 1) {
+    std::fprintf(stderr, "--ranks runs one serial process per rank; it does "
+                         "not compose with a thread count\n");
+    return 2;
   }
 
   scenario::register_builtin();
@@ -210,24 +236,43 @@ int main(int argc, char** argv) {
 
   std::size_t selected = 0;
   for (const auto& s : scenarios) selected += only.empty() || s.name == only;
-  std::printf("%zu scenario(s) selected of %zu registered; scheduler: %s\n\n",
-              selected, scenarios.size(),
-              threads > 1 ? "parallel" : "serial");
+  if (ranks > 1) {
+    std::printf("%zu scenario(s) selected of %zu registered; %u rank "
+                "processes\n\n",
+                selected, scenarios.size(), ranks);
+  } else {
+    std::printf("%zu scenario(s) selected of %zu registered; scheduler: "
+                "%s\n\n",
+                selected, scenarios.size(),
+                threads > 1 ? "parallel" : "serial");
+  }
   std::printf("%-30s %-9s %-11s %8s %10s %12s %18s\n", "scenario", "topology",
               "discipline", "n", "rounds", "msgs", "digest");
   for (const auto& s : scenarios) {
     if (!only.empty() && s.name != only) continue;
     const NodeId n = requested_n != 0 ? requested_n : s.sweep_n.front();
-    const scenario::RunResult r = scenario::run(
-        s, n, s.default_seed,
-        threads > 1 ? sim::make_scheduler(threads) : nullptr,
-        scenario::EngineKind::kSync, load, faults);
+    if (ranks > 1 && s.fault_recovery) {
+      // The two-phase epoch rebuild re-runs on a compacted graph the rank
+      // windows were not cut for; recovery rows stay serial-only.
+      std::fprintf(stderr, "%s: fault-recovery scenarios run serial only; "
+                           "skipped under --ranks\n", s.name.c_str());
+      continue;
+    }
+    const scenario::RunResult r =
+        ranks > 1
+            ? scenario::run_sharded(s, n, s.default_seed, ranks, load, faults)
+            : scenario::run(s, n, s.default_seed,
+                            threads > 1 ? sim::make_scheduler(threads)
+                                        : nullptr,
+                            scenario::EngineKind::kSync, load, faults);
     print_row(s, "", r);
   }
   // The asynchronous engine runs channel-free workloads (through the
   // busy-tone synchronizer) and the open-loop load scenarios (natively, no
-  // synchronizer); rounds are channel slots there.
+  // synchronizer); rounds are channel slots there.  Rank mode is
+  // synchronous-only, so the section is skipped under --ranks.
   for (const auto& s : scenarios) {
+    if (ranks > 1) break;
     if (!s.channel_free && !s.make_async_load_factory) continue;
     if (!only.empty() && s.name != only) continue;
     const NodeId n = requested_n != 0 ? requested_n : s.sweep_n.front();

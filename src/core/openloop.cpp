@@ -180,10 +180,11 @@ sim::AsyncProcessFactory make_open_loop_async_factory(
 }
 
 std::uint64_t open_loop_digest(
-    NodeId n, const std::function<const OpenLoopStats&(NodeId)>& at) {
-  std::uint64_t h = kFnvOffset;
-  for (NodeId v = 0; v < n; ++v) {
-    h = fnv_mix(h, at(v).digest_word());
+    NodeId n, const std::function<const OpenLoopStats&(NodeId)>& at,
+    NodeId begin, std::uint64_t h0) {
+  std::uint64_t h = h0;
+  for (NodeId i = 0; i < n; ++i) {
+    h = fnv_mix(h, at(begin + i).digest_word());
   }
   return h;
 }

@@ -243,9 +243,13 @@ sim::ProcessFactory make_open_loop_factory(const OpenLoopConfig& config);
 sim::AsyncProcessFactory make_open_loop_async_factory(
     const OpenLoopConfig& config);
 
-/// Node-major FNV-1a fold over every station's digest_word().
+/// Node-major FNV-1a fold over stations [begin, begin + n), starting the
+/// accumulator at h0.  The defaults fold the whole run from the offset
+/// basis; rank mode (scenario/rank_run.hpp) chains per-window folds through
+/// h0 to reproduce the serial digest bit for bit.
 std::uint64_t open_loop_digest(
-    NodeId n, const std::function<const OpenLoopStats&(NodeId)>& at);
+    NodeId n, const std::function<const OpenLoopStats&(NodeId)>& at,
+    NodeId begin = 0, std::uint64_t h0 = 0xcbf29ce484222325ULL);
 
 /// One synchronous open-loop run end to end, for benches and tests: builds
 /// the engine over `g` under the given discipline and scheduler (null =

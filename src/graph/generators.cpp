@@ -23,23 +23,26 @@ NodeId isqrt_floor(std::uint64_t x) {
 
 }  // namespace
 
-Graph random_tree(NodeId n, std::uint64_t seed) {
+Graph random_tree(NodeId n, std::uint64_t seed, GraphWindow window) {
   MMN_REQUIRE(n >= 1, "random_tree requires n >= 1");
   Rng rng(seed);
   GraphBuilder b(n, n - 1);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   for (NodeId v = 1; v < n; ++v) {
     b.add_edge(static_cast<NodeId>(rng.next_below(v)), v);
   }
   return std::move(b).finish_permuted(rng);
 }
 
-Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed) {
+Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed,
+                       GraphWindow window) {
   MMN_REQUIRE(n >= 1, "random_connected requires n >= 1");
   const std::uint64_t max_extra =
       static_cast<std::uint64_t>(n) * (n - 1) / 2 - (n - 1);
   MMN_REQUIRE(extra_edges <= max_extra, "too many extra edges for simple graph");
   Rng rng(seed);
   GraphBuilder b(n, n - 1 + extra_edges);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   std::unordered_set<std::uint64_t> used;
   for (NodeId v = 1; v < n; ++v) {
     const auto parent = static_cast<NodeId>(rng.next_below(v));
@@ -58,12 +61,13 @@ Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed) 
   return std::move(b).finish_permuted(rng);
 }
 
-Graph grid(NodeId rows, NodeId cols, std::uint64_t seed) {
+Graph grid(NodeId rows, NodeId cols, std::uint64_t seed, GraphWindow window) {
   MMN_REQUIRE(rows >= 1 && cols >= 1, "grid requires positive dimensions");
   Rng rng(seed);
   const NodeId n = rows * cols;
   GraphBuilder b(n, static_cast<std::size_t>(rows) * (cols - 1) +
                         static_cast<std::size_t>(rows - 1) * cols);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
@@ -74,41 +78,45 @@ Graph grid(NodeId rows, NodeId cols, std::uint64_t seed) {
   return std::move(b).finish_permuted(rng);
 }
 
-Graph ring(NodeId n, std::uint64_t seed) {
+Graph ring(NodeId n, std::uint64_t seed, GraphWindow window) {
   MMN_REQUIRE(n >= 3, "ring requires n >= 3");
   Rng rng(seed);
   GraphBuilder b(n, n);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   for (NodeId v = 0; v < n; ++v) {
     b.add_edge(v, static_cast<NodeId>((v + 1) % n));
   }
   return std::move(b).finish_permuted(rng);
 }
 
-Graph path(NodeId n, std::uint64_t seed) {
+Graph path(NodeId n, std::uint64_t seed, GraphWindow window) {
   MMN_REQUIRE(n >= 1, "path requires n >= 1");
   Rng rng(seed);
   GraphBuilder b(n, n - 1);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   for (NodeId v = 0; v + 1 < n; ++v) {
     b.add_edge(v, static_cast<NodeId>(v + 1));
   }
   return std::move(b).finish_permuted(rng);
 }
 
-Graph complete(NodeId n, std::uint64_t seed) {
+Graph complete(NodeId n, std::uint64_t seed, GraphWindow window) {
   MMN_REQUIRE(n >= 2, "complete requires n >= 2");
   Rng rng(seed);
   GraphBuilder b(n, static_cast<std::size_t>(n) * (n - 1) / 2);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
   }
   return std::move(b).finish_permuted(rng);
 }
 
-Graph hypercube(int dim, std::uint64_t seed) {
+Graph hypercube(int dim, std::uint64_t seed, GraphWindow window) {
   MMN_REQUIRE(dim >= 1 && dim <= 20, "hypercube dimension must be in [1, 20]");
   Rng rng(seed);
   const NodeId n = NodeId{1} << dim;
   GraphBuilder b(n, static_cast<std::size_t>(n) * dim / 2);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   for (NodeId v = 0; v < n; ++v) {
     for (int bit = 0; bit < dim; ++bit) {
       const NodeId u = v ^ (NodeId{1} << bit);
@@ -118,11 +126,13 @@ Graph hypercube(int dim, std::uint64_t seed) {
   return std::move(b).finish_permuted(rng);
 }
 
-Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed) {
+Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed,
+                GraphWindow window) {
   MMN_REQUIRE(rays >= 1 && ray_len >= 1, "ray_graph requires rays, ray_len >= 1");
   Rng rng(seed);
   const NodeId n = 1 + rays * ray_len;
   GraphBuilder b(n, n - 1);
+  if (window.active()) b.restrict_window(window.lo, window.hi);
   NodeId next = 1;
   for (NodeId r = 0; r < rays; ++r) {
     NodeId prev = 0;  // the center
@@ -241,6 +251,10 @@ NodeId topology_round_n(TopoKind kind, NodeId n) {
 }
 
 Graph build_topology(const TopologySpec& spec) {
+  return build_topology_window(spec, GraphWindow{});
+}
+
+Graph build_topology_window(const TopologySpec& spec, GraphWindow window) {
   MMN_REQUIRE(topology_valid_n(spec.kind, spec.n),
               "topology kind does not admit this n (round it first)");
   const NodeId n = spec.n;
@@ -250,28 +264,28 @@ Graph build_topology(const TopologySpec& spec) {
           static_cast<std::uint64_t>(n) * (n - 1) / 2 - (n - 1);
       const auto extra = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(2ull * n, max_extra));
-      return random_connected(n, extra, spec.seed);
+      return random_connected(n, extra, spec.seed, window);
     }
     case TopoKind::kTree:
-      return random_tree(n, spec.seed);
+      return random_tree(n, spec.seed, window);
     case TopoKind::kGrid: {
       const NodeId side = isqrt_floor(n);
-      return grid(side, side, spec.seed);
+      return grid(side, side, spec.seed, window);
     }
     case TopoKind::kRing:
-      return ring(n, spec.seed);
+      return ring(n, spec.seed, window);
     case TopoKind::kPath:
-      return path(n, spec.seed);
+      return path(n, spec.seed, window);
     case TopoKind::kComplete:
-      return complete(n, spec.seed);
+      return complete(n, spec.seed, window);
     case TopoKind::kHypercube: {
       int dim = 0;
       while ((NodeId{1} << dim) < n) ++dim;
-      return hypercube(dim, spec.seed);
+      return hypercube(dim, spec.seed, window);
     }
     case TopoKind::kRay: {
       const NodeId rays = ray_count_for(n);
-      return ray_graph(rays, (n - 1) / rays, spec.seed);
+      return ray_graph(rays, (n - 1) / rays, spec.seed, window);
     }
     case TopoKind::kCliqueImplicit:
       return Graph::implicit_complete(n);

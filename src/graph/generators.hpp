@@ -29,30 +29,38 @@
 namespace mmn {
 
 /// Random spanning tree on n nodes plus `extra_edges` distinct random chords.
-Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed);
+///
+/// Every explicit generator takes an optional GraphWindow: an active window
+/// streams the same edge sequence and weight permutation but retains only
+/// the window's shard + boundary frontier (see GraphBuilder), so a rank can
+/// build its slice of a million-node topology without the full arena.
+Graph random_connected(NodeId n, std::uint32_t extra_edges, std::uint64_t seed,
+                       GraphWindow window = {});
 
 /// Uniform random labelled tree (random attachment), n >= 1.
-Graph random_tree(NodeId n, std::uint64_t seed);
+Graph random_tree(NodeId n, std::uint64_t seed, GraphWindow window = {});
 
 /// rows x cols grid mesh.
-Graph grid(NodeId rows, NodeId cols, std::uint64_t seed);
+Graph grid(NodeId rows, NodeId cols, std::uint64_t seed,
+           GraphWindow window = {});
 
 /// Cycle on n >= 3 nodes (diameter floor(n/2)).
-Graph ring(NodeId n, std::uint64_t seed);
+Graph ring(NodeId n, std::uint64_t seed, GraphWindow window = {});
 
 /// Simple path on n nodes (diameter n - 1).
-Graph path(NodeId n, std::uint64_t seed);
+Graph path(NodeId n, std::uint64_t seed, GraphWindow window = {});
 
 /// Complete graph on n nodes.
-Graph complete(NodeId n, std::uint64_t seed);
+Graph complete(NodeId n, std::uint64_t seed, GraphWindow window = {});
 
 /// Hypercube of the given dimension (2^dim nodes) — the iPSC-style topology
 /// the paper's introduction cites as a deployed multimedia system.
-Graph hypercube(int dim, std::uint64_t seed);
+Graph hypercube(int dim, std::uint64_t seed, GraphWindow window = {});
 
 /// Ray graph: one center with `rays` vertex-disjoint paths of `ray_len` nodes
 /// each; n = 1 + rays * ray_len, diameter = 2 * ray_len.
-Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed);
+Graph ray_graph(NodeId rays, NodeId ray_len, std::uint64_t seed,
+                GraphWindow window = {});
 
 // ---- size-parameterized topology specs -------------------------------------
 
@@ -91,6 +99,11 @@ NodeId topology_round_n(TopoKind kind, NodeId n);
 /// Builds the graph for a spec.  Requires topology_valid_n(kind, n); callers
 /// holding a nominal size round it first (or refuse, for strict CLIs).
 Graph build_topology(const TopologySpec& spec);
+
+/// Windowed build of the same spec: identical edge ids and weights, but the
+/// arena holds adjacency only for [window.lo, window.hi) plus the boundary
+/// frontier.  Implicit families ignore the window (they are O(1) anyway).
+Graph build_topology_window(const TopologySpec& spec, GraphWindow window);
 
 /// The ray decomposition build_topology uses for n nodes: rays = the largest
 /// divisor of n - 1 that is <= sqrt(n - 1) (so ray_len >= rays and the

@@ -40,19 +40,35 @@ GraphBuilder::GraphBuilder(NodeId n, std::size_t expected_edges) : n_(n) {
   ev_.reserve(expected_edges);
 }
 
+void GraphBuilder::restrict_window(NodeId lo, NodeId hi) {
+  MMN_REQUIRE(lo < hi && hi <= n_, "window must be a non-empty range in [0, n)");
+  MMN_REQUIRE(total_edges_ == 0, "restrict_window must precede add_edge");
+  win_lo_ = lo;
+  win_hi_ = hi;
+}
+
 EdgeId GraphBuilder::add_edge(NodeId u, NodeId v) {
   MMN_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
   MMN_REQUIRE(u != v, "self loops are not allowed");
+  const EdgeId id = total_edges_++;
+  if (win_hi_ > win_lo_) {
+    const bool ou = u >= win_lo_ && u < win_hi_;
+    const bool ov = v >= win_lo_ && v < win_hi_;
+    if (!ou && !ov) return id;  // outside the shard and its frontier
+    eid_.push_back(id);
+  }
   eu_.push_back(u);
   ev_.push_back(v);
-  return static_cast<EdgeId>(eu_.size() - 1);
+  return id;
 }
 
 Graph GraphBuilder::finish_permuted(Rng& rng) && {
   // The weight permutation of the retired assign_weights helper, drawn in
   // the identical rng order so every seeded topology is bit-identical to
-  // the pre-CSR build (golden digests pin this).
-  std::vector<Weight> w(eu_.size());
+  // the pre-CSR build (golden digests pin this).  Window mode replays the
+  // FULL permutation — the draw sequence (and hence every retained edge's
+  // weight) must not depend on which window asked.
+  std::vector<Weight> w(total_edges_);
   std::iota(w.begin(), w.end(), Weight{1});
   for (std::size_t i = w.size(); i > 1; --i) {
     std::swap(w[i - 1], w[rng.next_below(i)]);
@@ -61,19 +77,25 @@ Graph GraphBuilder::finish_permuted(Rng& rng) && {
 }
 
 Graph GraphBuilder::finish_with_weights(const std::vector<Weight>& weights) && {
-  MMN_REQUIRE(weights.size() == eu_.size(),
+  MMN_REQUIRE(weights.size() == total_edges_,
               "one weight per edge required");
-  const auto m = static_cast<EdgeId>(eu_.size());
+  const bool windowed = win_hi_ > win_lo_;
+  const auto m = total_edges_;
+  const auto kept = static_cast<EdgeId>(eu_.size());
+  const auto owned = [this](NodeId v) { return v >= win_lo_ && v < win_hi_; };
   Graph g;
   g.kind_ = Graph::Kind::kExplicit;
   g.n_ = n_;
   g.m_ = m;
 
-  // Degree count -> offsets -> scatter, then one weight sort per row.
+  // Degree count -> offsets -> scatter, then one weight sort per row.  In
+  // window mode only owned endpoints get row entries; unowned nodes stay
+  // empty plateaus in the offset table, so owned rows land at exactly the
+  // neighbors, global edge ids, and weights of the full build.
   std::vector<std::uint32_t> cursor(n_, 0);
-  for (EdgeId e = 0; e < m; ++e) {
-    ++cursor[eu_[e]];
-    ++cursor[ev_[e]];
+  for (EdgeId i = 0; i < kept; ++i) {
+    if (!windowed || owned(eu_[i])) ++cursor[eu_[i]];
+    if (!windowed || owned(ev_[i])) ++cursor[ev_[i]];
   }
   g.adj_offset_.assign(n_ + 1, 0);
   for (NodeId v = 0; v < n_; ++v) {
@@ -81,12 +103,13 @@ Graph GraphBuilder::finish_with_weights(const std::vector<Weight>& weights) && {
     cursor[v] = g.adj_offset_[v];
   }
   g.adj_.resize(g.adj_offset_[n_]);
-  for (EdgeId e = 0; e < m; ++e) {
+  for (EdgeId i = 0; i < kept; ++i) {
+    const EdgeId e = windowed ? eid_[i] : i;
     MMN_REQUIRE(weights[e] >= 1 && weights[e] <= kMaxWeight32,
                 "link weights must fit 32 bits (1..2^32-1)");
     const auto w = static_cast<std::uint32_t>(weights[e]);
-    g.adj_[cursor[eu_[e]]++] = Neighbor{ev_[e], e, w};
-    g.adj_[cursor[ev_[e]]++] = Neighbor{eu_[e], e, w};
+    if (!windowed || owned(eu_[i])) g.adj_[cursor[eu_[i]]++] = Neighbor{ev_[i], e, w};
+    if (!windowed || owned(ev_[i])) g.adj_[cursor[ev_[i]]++] = Neighbor{eu_[i], e, w};
   }
   for (NodeId v = 0; v < n_; ++v) {
     std::sort(g.adj_.begin() + g.adj_offset_[v],
@@ -95,13 +118,30 @@ Graph GraphBuilder::finish_with_weights(const std::vector<Weight>& weights) && {
                 return a.weight < b.weight;
               });
   }
-  // The shared edge slab: each edge's slot in its first-emitted endpoint's
-  // (now weight-sorted) row.
-  g.edge_pos_.resize(m);
-  for (NodeId v = 0; v < n_; ++v) {
-    for (std::uint32_t p = g.adj_offset_[v]; p < g.adj_offset_[v + 1]; ++p) {
-      const EdgeId e = g.adj_[p].edge;
-      if (eu_[e] == v) g.edge_pos_[e] = p;
+  // The shared edge slab: each edge's slot in its canonical endpoint's (now
+  // weight-sorted) row.  Full build: canonical = first-emitted endpoint.
+  // Window mode: canonical = an OWNED endpoint (the first-emitted one when
+  // both are owned, so fully-interior edges agree with the full build);
+  // non-retained edges keep the kNoEdgeSlot sentinel.
+  if (!windowed) {
+    g.edge_pos_.resize(m);
+    for (NodeId v = 0; v < n_; ++v) {
+      for (std::uint32_t p = g.adj_offset_[v]; p < g.adj_offset_[v + 1]; ++p) {
+        const EdgeId e = g.adj_[p].edge;
+        if (eu_[e] == v) g.edge_pos_[e] = p;
+      }
+    }
+  } else {
+    g.edge_pos_.assign(m, kNoEdgeSlot);
+    std::vector<NodeId> canon(m, kNoNode);
+    for (EdgeId i = 0; i < kept; ++i) {
+      canon[eid_[i]] = owned(eu_[i]) ? eu_[i] : ev_[i];
+    }
+    for (NodeId v = win_lo_; v < win_hi_; ++v) {
+      for (std::uint32_t p = g.adj_offset_[v]; p < g.adj_offset_[v + 1]; ++p) {
+        const EdgeId e = g.adj_[p].edge;
+        if (canon[e] == v) g.edge_pos_[e] = p;
+      }
     }
   }
   return g;
@@ -280,7 +320,11 @@ Edge Graph::edge(EdgeId e) const {
   switch (kind_) {
     case Kind::kExplicit: {
       const std::uint32_t p = edge_pos_[e];
-      // The owning row: the unique v with adj_offset_[v] <= p.
+      MMN_REQUIRE(p != kNoEdgeSlot,
+                  "edge() on an edge a windowed build did not retain");
+      // The owning row: the unique v with adj_offset_[v] <= p.  Empty
+      // plateau rows (windowed builds) are transparent to the upper_bound:
+      // their offsets equal the owning row's start and are never > p.
       const auto it = std::upper_bound(adj_offset_.begin(), adj_offset_.end(),
                                        p);
       const auto u = static_cast<NodeId>(it - adj_offset_.begin() - 1);
@@ -329,6 +373,7 @@ int Graph::link_slot(NodeId v, EdgeId e) const {
   if (v >= n_ || e >= m_) return -1;
   if (kind_ == Kind::kExplicit) {
     const std::uint32_t p = edge_pos_[e];
+    if (p == kNoEdgeSlot) return -1;  // outside a windowed build
     const std::uint32_t first = adj_offset_[v];
     const std::uint32_t last = adj_offset_[v + 1];
     if (p >= first && p < last) return static_cast<int>(p - first);

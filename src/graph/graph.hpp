@@ -44,6 +44,8 @@ using Weight = std::uint64_t;
 
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+/// edge_pos_ sentinel for edges a windowed build did not retain.
+inline constexpr std::uint32_t kNoEdgeSlot = static_cast<std::uint32_t>(-1);
 
 /// An undirected edge with its distinct weight.
 struct Edge {
@@ -213,35 +215,64 @@ inline Neighbor NeighborRange::operator[](std::uint32_t i) const {
   return g_->implicit_entry(self_, i);
 }
 
+/// A contiguous node window [lo, hi) for sharded construction.  Inactive
+/// (hi <= lo) means "build everything" — the default everywhere.
+struct GraphWindow {
+  NodeId lo = 0;
+  NodeId hi = 0;
+  constexpr bool active() const { return hi > lo; }
+  constexpr bool owns(NodeId v) const { return v >= lo && v < hi; }
+};
+
 /// Streams (u, v) pairs into a CSR build without materializing an
 /// intermediate edge list: the generators add endpoint pairs (8 transient
 /// bytes per edge), then finish() assigns the seeded weight permutation
 /// 1..m and builds the arena in place.  Edge ids are emission positions —
 /// identical to the retired edge-list path, pinned by the golden topology
 /// digests in tests/test_topology.cpp.
+///
+/// Window mode (restrict_window): the builder still counts every emitted
+/// edge — ids and the finish_permuted weight draw stay GLOBAL, so a
+/// windowed build of the same stream agrees bit-for-bit with the full build
+/// on every retained edge — but it materializes adjacency rows only for
+/// nodes inside [lo, hi), retaining just the edges with an endpoint in the
+/// window (the shard plus its boundary frontier).  Rows of owned nodes are
+/// identical to the full build's (same neighbors, ids, weights, sort
+/// order); rows of unowned nodes are empty plateaus in the offset table.
+/// edge_pos_ entries for non-retained edges are kNoEdgeSlot, so edge() on
+/// them is an error and link_slot() returns -1.
 class GraphBuilder {
  public:
   /// n nodes; reserve capacity for `expected_edges` pairs.
   explicit GraphBuilder(NodeId n, std::size_t expected_edges = 0);
 
-  /// Adds one undirected edge; returns its id.  Requires endpoints < n and
-  /// u != v.  The caller (the generators) guarantees simplicity; parallel
-  /// edges are not re-checked here.
+  /// Enters window mode for [lo, hi).  Must precede the first add_edge.
+  void restrict_window(NodeId lo, NodeId hi);
+
+  /// Adds one undirected edge; returns its (global) id.  Requires endpoints
+  /// < n and u != v.  The caller (the generators) guarantees simplicity;
+  /// parallel edges are not re-checked here.
   EdgeId add_edge(NodeId u, NodeId v);
 
-  EdgeId num_edges() const { return static_cast<EdgeId>(eu_.size()); }
+  /// Edges emitted so far — global count, even in window mode.
+  EdgeId num_edges() const { return total_edges_; }
 
   /// Finishes with weights = a random permutation of 1..m drawn from `rng`
   /// (the exact draw sequence of the retired assign_weights helper).
   Graph finish_permuted(Rng& rng) &&;
 
   /// Finishes with the given per-edge weights (must be distinct, < 2^32).
+  /// One weight per *emitted* edge, also in window mode.
   Graph finish_with_weights(const std::vector<Weight>& weights) &&;
 
  private:
   NodeId n_;
+  NodeId win_lo_ = 0;
+  NodeId win_hi_ = 0;  ///< win_hi_ > win_lo_ <=> window mode
+  EdgeId total_edges_ = 0;
   std::vector<NodeId> eu_;
   std::vector<NodeId> ev_;
+  std::vector<EdgeId> eid_;  ///< global ids of retained edges (window mode)
 };
 
 }  // namespace mmn

@@ -211,8 +211,9 @@ namespace {
 /// across schedulers and engines because node iteration order is fixed.
 template <typename PerNode>
 std::uint64_t fold_nodes(const NodeResults& results, PerNode&& per_node) {
-  std::uint64_t h = kDigestSeed;
-  for (NodeId v = 0; v < results.n; ++v) {
+  std::uint64_t h = results.h0;  // kDigestSeed unless a rank chained into us
+  for (NodeId i = 0; i < results.n; ++i) {
+    const NodeId v = results.begin + i;
     h = digest_mix(h, per_node(results.at(v), v));
   }
   return h;
@@ -225,12 +226,14 @@ std::uint64_t fold_nodes(const NodeResults& results, PerNode&& per_node) {
 /// levels, which is what the equivalence suites compare.)
 std::uint64_t load_digest(const NodeResults& results) {
   return open_loop_digest(
-      results.n, [&results](NodeId v) -> const OpenLoopStats& {
+      results.n,
+      [&results](NodeId v) -> const OpenLoopStats& {
         if (results.at) {
           return dynamic_cast<const OpenLoopStats&>(results.at(v));
         }
         return dynamic_cast<const OpenLoopStats&>(results.at_async(v));
-      });
+      },
+      results.begin, results.h0);
 }
 
 std::uint64_t fragment_digest(const NodeResults& results) {

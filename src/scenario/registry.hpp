@@ -50,6 +50,13 @@ struct NodeResults {
   /// scenarios, which run AsyncProcesses without the synchronizer); digest
   /// implementations that support both engines side-cast whichever is set.
   std::function<const sim::AsyncProcess&(NodeId)> at_async = nullptr;
+  /// Digest window for rank-mode chaining (scenario/rank_run.hpp): digests
+  /// fold node ids [begin, begin + n) starting from accumulator h0, so rank
+  /// r folds its own window over rank r-1's partial hash and the chain ends
+  /// bit-identical to the serial whole-run fold.  The defaults (0 and the
+  /// FNV-1a offset basis, == kDigestSeed) reproduce the classic fold.
+  NodeId begin = 0;
+  std::uint64_t h0 = 0xcbf29ce484222325ULL;
 };
 
 struct Scenario {

@@ -1,0 +1,372 @@
+#include "sim/rank.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "sim/fault.hpp"
+#include "support/check.hpp"
+
+namespace mmn::sim {
+namespace {
+
+constexpr PacketRef kNoRef = static_cast<PacketRef>(-1);
+
+void append_bytes(std::vector<std::uint8_t>& blob, const void* data,
+                  std::size_t bytes) {
+  if (bytes == 0) return;  // data() of an empty vector may be null
+  const std::size_t old = blob.size();
+  blob.resize(old + bytes);
+  std::memcpy(blob.data() + old, data, bytes);
+}
+
+void append_u64(std::vector<std::uint8_t>& blob, std::uint64_t x) {
+  append_bytes(blob, &x, sizeof(x));
+}
+
+/// Bounds-checked cursor over a received blob; every read is validated so a
+/// torn or hostile frame trips MMN_REQUIRE instead of reading wild memory.
+struct BlobReader {
+  const std::uint8_t* p;
+  std::size_t size;
+  std::size_t cur = 0;
+
+  void read(void* out, std::size_t bytes) {
+    MMN_REQUIRE(cur + bytes <= size, "rank exchange blob truncated");
+    std::memcpy(out, p + cur, bytes);
+    cur += bytes;
+  }
+
+  std::uint64_t read_u64() {
+    std::uint64_t x;
+    read(&x, sizeof(x));
+    return x;
+  }
+
+  /// Parses one live-prefix Packet (the first word carries the size field,
+  /// so the wire length is self-describing).  The void* casts opt into the
+  /// same partial-object copy the staging pools do (stale tail never read).
+  void read_packet(Packet& out) {
+    MMN_REQUIRE(cur + sizeof(std::uint64_t) <= size,
+                "rank exchange blob truncated");
+    std::memcpy(static_cast<void*>(&out), p + cur, sizeof(std::uint64_t));
+    const std::size_t live = out.live_bytes();
+    MMN_REQUIRE(live <= sizeof(Packet) && cur + live <= size,
+                "rank exchange packet overruns its blob");
+    std::memcpy(static_cast<void*>(&out), p + cur, live);
+    cur += live;
+  }
+};
+
+}  // namespace
+
+RankEngine::RankEngine(const Graph& g, const RankSpec& spec,
+                       const ProcessFactory& factory, std::uint64_t seed,
+                       shard_comm::Transport& transport,
+                       std::unique_ptr<ChannelDiscipline> discipline)
+    : graph_(&g),
+      spec_(spec),
+      transport_(&transport),
+      discipline_(std::move(discipline)) {
+  MMN_REQUIRE(discipline_ != nullptr, "RankEngine needs an explicit discipline");
+  MMN_REQUIRE(spec_.ranks >= 1 && spec_.rank < spec_.ranks,
+              "rank out of range");
+  const NodeId n = g.num_nodes();
+  const auto [lo, hi] = Scheduler::shard_range(n, spec_.rank, spec_.ranks);
+  MMN_REQUIRE(lo == spec_.lo && hi == spec_.hi,
+              "RankSpec window must equal shard_range(n, rank, ranks)");
+  MMN_REQUIRE(transport_->rank() == spec_.rank &&
+                  transport_->ranks() == spec_.ranks,
+              "transport and RankSpec disagree");
+  bounds_.resize(spec_.ranks + 1);
+  for (unsigned r = 0; r < spec_.ranks; ++r) {
+    bounds_[r] = Scheduler::shard_range(n, r, spec_.ranks).first;
+  }
+  bounds_[spec_.ranks] = n;
+
+  const NodeId w = spec_.hi - spec_.lo;
+  views_.resize(w);
+  rngs_.reserve(w);
+  processes_.reserve(w);
+  finished_flag_.reserve(w);
+  // The per-node streams are forked from the same root on every rank
+  // (Rng::fork is pure), so owned nodes draw exactly the serial run's
+  // sequences without replaying unowned forks.
+  const Rng root(seed);
+  for (NodeId v = spec_.lo; v < spec_.hi; ++v) {
+    views_[v - spec_.lo] = LocalView{v, n, &g};
+    rngs_.push_back(root.fork(v));
+  }
+  for (NodeId i = 0; i < w; ++i) {
+    processes_.push_back(factory(views_[i]));
+    MMN_REQUIRE(processes_.back() != nullptr, "factory returned null process");
+    const char done = processes_.back()->finished() ? 1 : 0;
+    finished_flag_.push_back(done);
+    local_outstanding_ += done ? 0 : 1;
+  }
+
+  latency_.reset(1);
+  staging_.latency = &latency_.block(0);
+  ingress_.resize(spec_.ranks);
+  arena_.reset(w, spec_.ranks);
+  discipline_->reset(n);  // the replicated channel spans ALL n nodes
+
+  out_headers_.resize(spec_.ranks);
+  out_payload_.resize(spec_.ranks);
+  peer_writes_.resize(spec_.ranks);
+  peer_outstanding_.assign(spec_.ranks, 0);
+
+  for (NodeId v = spec_.lo; v < spec_.hi; ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (nb.to < spec_.lo || nb.to >= spec_.hi) ++boundary_edges_;
+    }
+  }
+
+  // Outstanding counts are part of the termination predicate checked BEFORE
+  // the first round, so they are exchanged once up front (and then
+  // piggybacked on every round's blob).
+  global_outstanding_ = local_outstanding_;
+  for (unsigned peer = 0; peer < spec_.ranks; ++peer) {
+    if (peer == spec_.rank) continue;
+    out_blob_.clear();
+    append_u64(out_blob_, static_cast<std::uint64_t>(local_outstanding_));
+    transport_->exchange(peer, out_blob_.data(), out_blob_.size(), in_blob_);
+    BlobReader in{in_blob_.data(), in_blob_.size()};
+    global_outstanding_ += static_cast<std::int64_t>(in.read_u64());
+  }
+}
+
+RankEngine::~RankEngine() = default;
+
+Process& RankEngine::process(NodeId v) {
+  MMN_REQUIRE(v >= spec_.lo && v < spec_.hi, "process(): node not owned");
+  return *processes_[v - spec_.lo];
+}
+
+const Process& RankEngine::process(NodeId v) const {
+  MMN_REQUIRE(v >= spec_.lo && v < spec_.hi, "process(): node not owned");
+  return *processes_[v - spec_.lo];
+}
+
+void RankEngine::install_faults(const FaultPlan& plan) {
+  MMN_REQUIRE(round_ == 0 && faults_ == nullptr,
+              "install_faults: once, before the first round");
+  // Every rank replays the identical full plan against its own overlay
+  // replica (the windowed graph reports global n and m, so overlay bitsets
+  // span the whole topology) — liveness tests and discipline stifles agree
+  // across ranks by construction.
+  faults_ = std::make_unique<FaultRuntime>(*graph_, plan);
+}
+
+unsigned RankEngine::owner_of(NodeId v) const {
+  auto r = static_cast<unsigned>(static_cast<std::uint64_t>(v) * spec_.ranks /
+                                 graph_->num_nodes());
+  if (r >= spec_.ranks) r = spec_.ranks - 1;
+  while (v < bounds_[r]) --r;
+  while (v >= bounds_[r + 1]) ++r;
+  return r;
+}
+
+void RankEngine::node_round(NodeId local) {
+  const EpochOverlay* overlay = nullptr;
+  if (faults_ != nullptr) [[unlikely]] {
+    overlay = &faults_->overlay();
+    if (!overlay->node_alive(spec_.lo + local)) {
+      staging_.fault_drops += arena_.inbox(local).size();
+      return;
+    }
+  }
+  NodeContext ctx(views_[local], rngs_[local], arena_.inbox(local), slot_,
+                  round_, staging_, overlay);
+  processes_[local]->round(ctx);
+  const char done = processes_[local]->finished() ? 1 : 0;
+  if (done != finished_flag_[local]) {
+    finished_flag_[local] = done;
+    local_outstanding_ += done ? -1 : 1;
+  }
+}
+
+/// Splits the round's staged sends into the own-window ingress buffer and
+/// one wire batch per destination rank.  Partition preserves outbox order,
+/// so every per-destination stream is still ascending-sender; interned
+/// broadcast runs (consecutive equal refs — refs are unique per
+/// stage_packet call, so equality implies one run) ship/stage one payload.
+void RankEngine::partition_outbox() {
+  ShardBuffer& own = ingress_[spec_.rank];
+  for (unsigned r = 0; r < spec_.ranks; ++r) {
+    out_headers_[r].clear();
+    out_payload_[r].clear();
+  }
+  // Per-destination interning state; refs are unique within the round, so
+  // one slot per destination is enough even across run gaps.
+  thread_local std::vector<PacketRef> last_src;
+  thread_local std::vector<PacketRef> last_emit;
+  last_src.assign(spec_.ranks, kNoRef);
+  last_emit.assign(spec_.ranks, 0);
+
+  const Packet* pool = staging_.pool.data();
+  for (const MsgHeader& h : staging_.outbox) {
+    const unsigned dst = owner_of(h.to);
+    if (dst == spec_.rank) {
+      if (h.ref != last_src[dst]) {
+        last_src[dst] = h.ref;
+        last_emit[dst] = own.stage_packet(pool[h.ref]);
+      }
+      own.outbox.push_back(
+          MsgHeader{h.to - spec_.lo, h.from, h.via, last_emit[dst]});
+    } else {
+      if (h.ref != last_src[dst]) {
+        last_src[dst] = h.ref;
+        const Packet& pkt = pool[h.ref];
+        append_bytes(out_payload_[dst], &pkt, pkt.live_bytes());
+        ++last_emit[dst];  // 1-based count; wire ref = count - 1
+      }
+      out_headers_[dst].push_back(
+          MsgHeader{h.to, h.from, h.via, last_emit[dst] - 1});
+      ++xshard_msgs_;
+    }
+  }
+}
+
+/// One blob per peer: cross-shard headers + payloads, this rank's channel
+/// writes (every peer gets the same list — the channel is replicated), and
+/// the outstanding count.  Peers are visited in ascending id; the swap
+/// itself is full-duplex (shard_comm.hpp), and ascending order admits no
+/// waiting cycle, so the round's exchange always completes.
+void RankEngine::exchange_round() {
+  for (unsigned peer = 0; peer < spec_.ranks; ++peer) {
+    if (peer == spec_.rank) continue;
+    out_blob_.clear();
+    append_u64(out_blob_, out_headers_[peer].size());
+    append_bytes(out_blob_, out_headers_[peer].data(),
+                 out_headers_[peer].size() * sizeof(MsgHeader));
+    append_u64(out_blob_, out_payload_[peer].size());
+    append_bytes(out_blob_, out_payload_[peer].data(),
+                 out_payload_[peer].size());
+    append_u64(out_blob_, staging_.channel_writes.size());
+    for (const ChannelWrite& w : staging_.channel_writes) {
+      append_bytes(out_blob_, &w.node, sizeof(w.node));
+      append_bytes(out_blob_, &w.packet, w.packet.live_bytes());
+    }
+    append_u64(out_blob_, static_cast<std::uint64_t>(local_outstanding_));
+
+    transport_->exchange(peer, out_blob_.data(), out_blob_.size(), in_blob_);
+
+    BlobReader in{in_blob_.data(), in_blob_.size()};
+    const std::uint64_t n_headers = in.read_u64();
+    ShardBuffer& ingress = ingress_[peer];
+    MMN_REQUIRE(in.cur + n_headers * sizeof(MsgHeader) <= in.size,
+                "rank exchange blob truncated");
+    const auto* headers =
+        reinterpret_cast<const MsgHeader*>(in.p + in.cur);
+    in.cur += n_headers * sizeof(MsgHeader);
+    const std::uint64_t payload_bytes = in.read_u64();
+    BlobReader payload{in.p + in.cur, payload_bytes};
+    in.cur += payload_bytes;
+    MMN_REQUIRE(in.cur <= in.size, "rank exchange blob truncated");
+    // Wire refs are run ordinals: a ref change means the next payload in
+    // the stream; equal refs share the previously staged slot.
+    PacketRef last_wire = kNoRef;
+    PacketRef staged = 0;
+    Packet pkt;
+    for (std::uint64_t i = 0; i < n_headers; ++i) {
+      const MsgHeader h = headers[i];
+      MMN_REQUIRE(h.to >= spec_.lo && h.to < spec_.hi,
+                  "cross-shard header addressed to a node this rank "
+                  "does not own");
+      if (h.ref != last_wire) {
+        MMN_REQUIRE(h.ref == last_wire + 1 || last_wire == kNoRef,
+                    "cross-shard payload runs out of order");
+        last_wire = h.ref;
+        payload.read_packet(pkt);
+        staged = ingress.stage_packet(pkt);
+      }
+      ingress.outbox.push_back(
+          MsgHeader{h.to - spec_.lo, h.from, h.via, staged});
+    }
+    MMN_REQUIRE(payload.cur == payload.size,
+                "cross-shard payload bytes left over");
+
+    const std::uint64_t n_writes = in.read_u64();
+    peer_writes_[peer].clear();
+    for (std::uint64_t i = 0; i < n_writes; ++i) {
+      ChannelWrite w;
+      in.read(&w.node, sizeof(w.node));
+      in.read_packet(w.packet);
+      peer_writes_[peer].push_back(std::move(w));
+    }
+    peer_outstanding_[peer] = static_cast<std::int64_t>(in.read_u64());
+    MMN_REQUIRE(in.cur == in.size, "rank exchange blob has trailing bytes");
+  }
+}
+
+void RankEngine::run_one_round() {
+  // Mirrors Engine::run_one_round + RuntimeCore::run_round, with the shard
+  // merge seams widened from threads to ranks.
+  if (faults_ != nullptr) [[unlikely]] {
+    faults_->apply_slot(round_, *discipline_);
+  }
+  const NodeId w = num_owned();
+  for (NodeId i = 0; i < w; ++i) node_round(i);
+
+  metrics_.p2p_messages += staging_.p2p_sent;
+  staging_.p2p_sent = 0;
+  if (faults_ != nullptr) {
+    faults_->stats().drops += staging_.fault_drops;
+    staging_.fault_drops = 0;
+  }
+
+  partition_outbox();
+  exchange_round();
+
+  // Channel writes merge rank-major — ranks own ascending node windows, so
+  // this is ascending node order, the exact serial commit order the
+  // disciplines' determinism contract is stated over.
+  for (unsigned r = 0; r < spec_.ranks; ++r) {
+    if (r == spec_.rank) {
+      for (ChannelWrite& cw : staging_.channel_writes) {
+        slot_writes_.push_back(std::move(cw));
+      }
+    } else {
+      for (ChannelWrite& cw : peer_writes_[r]) {
+        slot_writes_.push_back(std::move(cw));
+      }
+    }
+  }
+  slot_ = discipline_->slot(slot_writes_, channel_, metrics_);
+  slot_writes_.clear();
+
+  // Ascending-rank concatenation of the ingress buffers = the serial send
+  // order; the stable counting sort does the rest.
+  arena_.flip(ingress_);
+  staging_.clear_round();
+
+  global_outstanding_ = local_outstanding_;
+  for (unsigned r = 0; r < spec_.ranks; ++r) {
+    if (r != spec_.rank) global_outstanding_ += peer_outstanding_[r];
+  }
+
+  ++round_;
+  ++metrics_.rounds;
+}
+
+bool RankEngine::step(std::uint64_t rounds) {
+  // Engine::step verbatim, over the replicated global predicate: every rank
+  // evaluates identical (outstanding, channel) state, so every rank runs
+  // the same number of rounds — which keeps the per-round exchanges in
+  // lockstep without any extra control traffic.
+  if (status_ != RunStatus::kCompleted) status_ = RunStatus::kRunning;
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    if (all_finished() && channel_idle()) {
+      status_ = RunStatus::kCompleted;
+      return true;
+    }
+    run_one_round();
+  }
+  if (all_finished() && channel_idle()) {
+    status_ = RunStatus::kCompleted;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mmn::sim

@@ -1,0 +1,238 @@
+#include "sim/shard_comm.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace mmn::sim::shard_comm {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MMN_REQUIRE(flags >= 0, "fcntl(F_GETFL) failed");
+  MMN_REQUIRE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+/// One rank's view of the socketpair mesh: fd_[p] talks to rank p.
+class SocketMesh final : public Transport {
+ public:
+  SocketMesh(unsigned rank, unsigned ranks, std::vector<int> fds)
+      : rank_(rank), ranks_(ranks), fds_(std::move(fds)) {}
+
+  SocketMesh(const SocketMesh&) = delete;
+  SocketMesh& operator=(const SocketMesh&) = delete;
+
+  ~SocketMesh() override {
+    for (const int fd : fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  unsigned rank() const override { return rank_; }
+  unsigned ranks() const override { return ranks_; }
+
+  void exchange(unsigned peer, const std::uint8_t* data, std::size_t bytes,
+                std::vector<std::uint8_t>& in) override {
+    MMN_REQUIRE(peer < ranks_ && peer != rank_ && fds_[peer] >= 0,
+                "exchange() with an invalid peer rank");
+    const int fd = fds_[peer];
+
+    // Outgoing frame: [u64 length][payload].  The length prefix is staged
+    // separately so the payload is never copied.
+    std::uint64_t out_len = bytes;
+    std::size_t sent_hdr = 0;
+    std::size_t sent_body = 0;
+
+    // Incoming frame, drained concurrently with the writes so the swap
+    // cannot deadlock on full kernel buffers.
+    std::uint8_t in_hdr[sizeof(std::uint64_t)];
+    std::size_t got_hdr = 0;
+    std::uint64_t in_len = 0;
+    std::size_t got_body = 0;
+    in.clear();
+
+    for (;;) {
+      const bool out_done = sent_hdr == sizeof(out_len) && sent_body == bytes;
+      const bool in_done =
+          got_hdr == sizeof(in_hdr) && got_body == in_len;
+      if (out_done && in_done) break;
+
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = static_cast<short>((out_done ? 0 : POLLOUT) |
+                                      (in_done ? 0 : POLLIN));
+      pfd.revents = 0;
+      const int rc = ::poll(&pfd, 1, -1);
+      if (rc < 0) {
+        MMN_REQUIRE(errno == EINTR, "poll() failed during rank exchange");
+        continue;
+      }
+      MMN_REQUIRE((pfd.revents & (POLLERR | POLLNVAL)) == 0,
+                  "rank exchange socket error");
+
+      if (!out_done && (pfd.revents & (POLLOUT | POLLHUP)) != 0) {
+        if (sent_hdr < sizeof(out_len)) {
+          const auto* p = reinterpret_cast<const std::uint8_t*>(&out_len);
+          const ssize_t k = ::send(fd, p + sent_hdr, sizeof(out_len) - sent_hdr,
+                                   MSG_NOSIGNAL);
+          if (k > 0) {
+            sent_hdr += static_cast<std::size_t>(k);
+            bytes_out_ += static_cast<std::uint64_t>(k);
+          } else {
+            MMN_REQUIRE(k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                                  errno == EINTR),
+                        "send() failed during rank exchange");
+          }
+        } else if (sent_body < bytes) {
+          const ssize_t k =
+              ::send(fd, data + sent_body, bytes - sent_body, MSG_NOSIGNAL);
+          if (k > 0) {
+            sent_body += static_cast<std::size_t>(k);
+            bytes_out_ += static_cast<std::uint64_t>(k);
+          } else {
+            MMN_REQUIRE(k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                                  errno == EINTR),
+                        "send() failed during rank exchange");
+          }
+        }
+      }
+
+      if (!in_done && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+        if (got_hdr < sizeof(in_hdr)) {
+          const ssize_t k =
+              ::recv(fd, in_hdr + got_hdr, sizeof(in_hdr) - got_hdr, 0);
+          MMN_REQUIRE(k != 0, "peer rank closed mid-exchange");
+          if (k > 0) {
+            got_hdr += static_cast<std::size_t>(k);
+            bytes_in_ += static_cast<std::uint64_t>(k);
+            if (got_hdr == sizeof(in_hdr)) {
+              std::memcpy(&in_len, in_hdr, sizeof(in_len));
+              in.resize(in_len);
+            }
+          } else {
+            MMN_REQUIRE(errno == EAGAIN || errno == EWOULDBLOCK ||
+                            errno == EINTR,
+                        "recv() failed during rank exchange");
+          }
+        } else if (got_body < in_len) {
+          const ssize_t k =
+              ::recv(fd, in.data() + got_body, in_len - got_body, 0);
+          MMN_REQUIRE(k != 0, "peer rank closed mid-exchange");
+          if (k > 0) {
+            got_body += static_cast<std::size_t>(k);
+            bytes_in_ += static_cast<std::uint64_t>(k);
+          } else {
+            MMN_REQUIRE(errno == EAGAIN || errno == EWOULDBLOCK ||
+                            errno == EINTR,
+                        "recv() failed during rank exchange");
+          }
+        }
+      }
+    }
+  }
+
+  std::uint64_t bytes_out() const override { return bytes_out_; }
+  std::uint64_t bytes_in() const override { return bytes_in_; }
+
+ private:
+  unsigned rank_;
+  unsigned ranks_;
+  std::vector<int> fds_;  ///< indexed by peer rank; -1 for self
+  std::uint64_t bytes_out_ = 0;
+  std::uint64_t bytes_in_ = 0;
+};
+
+/// ranks == 1: no peers, nothing to fork.
+class LoopbackTransport final : public Transport {
+ public:
+  unsigned rank() const override { return 0; }
+  unsigned ranks() const override { return 1; }
+  void exchange(unsigned, const std::uint8_t*, std::size_t,
+                std::vector<std::uint8_t>&) override {
+    MMN_REQUIRE(false, "exchange() on a single-rank transport");
+  }
+  std::uint64_t bytes_out() const override { return 0; }
+  std::uint64_t bytes_in() const override { return 0; }
+};
+
+}  // namespace
+
+void run_ranks(unsigned ranks, const std::function<void(Transport&)>& fn) {
+  MMN_REQUIRE(ranks >= 1 && ranks <= 64, "ranks must be in [1, 64]");
+  if (ranks == 1) {
+    LoopbackTransport t;
+    fn(t);
+    return;
+  }
+
+  // Full mesh, built before any fork so every rank inherits its endpoints:
+  // pair (i, j), i < j, gets one socketpair; ends[i][j] is i's end.
+  std::vector<std::vector<int>> ends(ranks, std::vector<int>(ranks, -1));
+  for (unsigned i = 0; i < ranks; ++i) {
+    for (unsigned j = i + 1; j < ranks; ++j) {
+      int sp[2];
+      MMN_REQUIRE(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) == 0,
+                  "socketpair() failed building the rank mesh");
+      set_nonblocking(sp[0]);
+      set_nonblocking(sp[1]);
+      ends[i][j] = sp[0];
+      ends[j][i] = sp[1];
+    }
+  }
+
+  unsigned my_rank = 0;
+  std::vector<pid_t> children;
+  children.reserve(ranks - 1);
+  for (unsigned r = 1; r < ranks; ++r) {
+    const pid_t pid = ::fork();
+    MMN_REQUIRE(pid >= 0, "fork() failed spawning rank");
+    if (pid == 0) {
+      my_rank = r;
+      children.clear();
+      break;
+    }
+    children.push_back(pid);
+  }
+
+  // Keep only this rank's endpoints; close the rest of the mesh.
+  std::vector<int> fds(ranks, -1);
+  for (unsigned i = 0; i < ranks; ++i) {
+    for (unsigned j = 0; j < ranks; ++j) {
+      if (ends[i][j] < 0) continue;
+      if (i == my_rank) {
+        fds[j] = ends[i][j];
+      } else {
+        ::close(ends[i][j]);
+      }
+    }
+  }
+
+  {
+    SocketMesh mesh(my_rank, ranks, std::move(fds));
+    fn(mesh);
+  }
+
+  if (my_rank != 0) {
+    // Skip atexit/static destructors: the child shares the parent's stdio
+    // and test/bench harness state, none of which it owns.
+    ::_exit(0);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    const pid_t got = ::waitpid(pid, &status, 0);
+    MMN_REQUIRE(got == pid, "waitpid() failed reaping a rank");
+    MMN_REQUIRE(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                "a child rank exited abnormally");
+  }
+}
+
+}  // namespace mmn::sim::shard_comm

@@ -67,6 +67,7 @@ void LatencyBlock::merge(const LatencyBlock& other) {
     arrivals[c] += other.arrivals[c];
     delivered[c] += other.delivered[c];
     delay_sum[c] += other.delay_sum[c];
+    delay_sq_sum[c] += other.delay_sq_sum[c];
   }
 }
 
@@ -105,6 +106,7 @@ QosSummary LatencyRecorder::summary(QosClass cls) const {
   s.arrivals = m.arrivals[c];
   s.delivered = m.delivered[c];
   s.delay_sum = m.delay_sum[c];
+  s.delay_sq_sum = m.delay_sq_sum[c];
   s.p50 = quantile(m.hist[c], m.delivered[c], 0.50);
   s.p90 = quantile(m.hist[c], m.delivered[c], 0.90);
   s.p99 = quantile(m.hist[c], m.delivered[c], 0.99);

@@ -28,6 +28,7 @@
 
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -86,6 +87,11 @@ struct alignas(64) LatencyBlock {
   std::array<std::uint64_t, kNumQosClasses> arrivals{};
   std::array<std::uint64_t, kNumQosClasses> delivered{};
   std::array<std::uint64_t, kNumQosClasses> delay_sum{};
+  /// Sum of squared delays, for the jitter (delay standard deviation)
+  /// report.  Headroom: delays are slot counts bounded by the run horizon
+  /// (< 2^32 in any configured run), so each square fits 2^64 with > 2^31
+  /// samples of margin before overflow.
+  std::array<std::uint64_t, kNumQosClasses> delay_sq_sum{};
 
   static std::size_t bucket_of(std::uint64_t delay_slots) {
     const auto b = static_cast<std::size_t>(std::bit_width(delay_slots));
@@ -106,6 +112,7 @@ struct alignas(64) LatencyBlock {
     ++hist[c][bucket_of(delay_slots)];
     ++delivered[c];
     delay_sum[c] += delay_slots;
+    delay_sq_sum[c] += delay_slots * delay_slots;
   }
 
   /// Shard-major fold: accumulates `other` into this block.
@@ -117,6 +124,7 @@ struct QosSummary {
   std::uint64_t arrivals = 0;
   std::uint64_t delivered = 0;
   std::uint64_t delay_sum = 0;
+  std::uint64_t delay_sq_sum = 0;
   std::uint64_t p50 = 0;  ///< log2-bucket upper bounds, in slots
   std::uint64_t p90 = 0;
   std::uint64_t p99 = 0;
@@ -126,6 +134,19 @@ struct QosSummary {
     return delivered == 0
                ? 0.0
                : static_cast<double>(delay_sum) / static_cast<double>(delivered);
+  }
+  /// Inter-delivery delay variation: the standard deviation of the delay
+  /// samples, sqrt(E[d^2] - E[d]^2), in slots.  Reported next to the
+  /// percentiles — voice-class jitter is the QoS figure the percentile
+  /// tail alone cannot show (a tight p99 can still wobble inside it).
+  /// The difference is clamped at 0 against floating-point cancellation.
+  double jitter() const {
+    if (delivered == 0) return 0.0;
+    const double mean = mean_delay();
+    const double mean_sq = static_cast<double>(delay_sq_sum) /
+                           static_cast<double>(delivered);
+    const double var = mean_sq - mean * mean;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
   }
   /// Delivered packets per slot — the per-class goodput of the run.
   double goodput(std::uint64_t slots) const {

@@ -134,6 +134,65 @@ TEST(EpochOverlay, CompactPreservesSurvivorsAndAppliesDelta) {
   }
 }
 
+TEST(EpochOverlay, AddThenKillSameLinkWithinOneEpoch) {
+  // A link is replaced mid-epoch: a delta link between the same endpoints
+  // goes in first, then the base link is killed.  The compaction must drop
+  // the base edge (old_to_new maps it to kNoEdge) while the delta
+  // replacement survives as a real edge of the fresh arena with its own
+  // weight — the add/kill order within the epoch is irrelevant because the
+  // tombstone set and the delta adjacency are independent structures.
+  const Graph g = build_topology(TopologySpec{TopoKind::kRing, 16, 7});
+  EpochOverlay overlay(g);
+  const EdgeId base_e = 4;
+  const Edge ed = g.edge(base_e);
+  const Weight replacement_w = 999'999;
+  overlay.add_link(ed.u, ed.v, replacement_w);
+  overlay.kill_link(base_e);
+  EXPECT_EQ(overlay.links_down(), 1u);
+  EXPECT_EQ(overlay.delta_links(), 1u);
+  const EpochOverlay::Compaction c = overlay.compact();
+  // Net edge count is unchanged: one base edge died, one delta arrived.
+  EXPECT_EQ(c.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(c.old_to_new[base_e], kNoEdge);
+  // The replacement is the last edge (delta ids follow the survivors) and
+  // carries the delta weight, not the killed base link's.
+  const Edge fresh = c.graph.edge(c.graph.num_edges() - 1);
+  EXPECT_EQ(fresh.u, std::min(ed.u, ed.v));
+  EXPECT_EQ(fresh.v, std::max(ed.u, ed.v));
+  EXPECT_EQ(fresh.weight, replacement_w);
+  // Both endpoints keep their degree: the replacement slot is live.
+  EXPECT_EQ(c.graph.degree(ed.u), g.degree(ed.u));
+  EXPECT_EQ(c.graph.degree(ed.v), g.degree(ed.v));
+}
+
+TEST(EpochOverlay, CompactDropsDeltaLinksWithCrashedEndpoints) {
+  // A delta link whose endpoint crashed before the epoch boundary must NOT
+  // materialize in the fresh arena — compaction filters the delta by node
+  // liveness exactly as it filters base edges.
+  const Graph g = build_topology(TopologySpec{TopoKind::kRing, 16, 7});
+  EpochOverlay overlay(g);
+  overlay.add_link(2, 9, 999'998);   // endpoint 9 will crash
+  overlay.add_link(3, 11, 999'999);  // both endpoints stay alive
+  overlay.crash_node(9);
+  EXPECT_EQ(overlay.delta_links(), 2u);
+  const EpochOverlay::Compaction c = overlay.compact();
+  // Node 9's two ring edges die with it; of the two delta links only the
+  // live-endpoint one lands.
+  EXPECT_EQ(c.graph.num_edges(), g.num_edges() - 2 + 1);
+  EXPECT_EQ(c.graph.degree(9), 0u);
+  EXPECT_EQ(c.graph.degree(2), g.degree(2));  // no half-added stub at 2
+  const Edge fresh = c.graph.edge(c.graph.num_edges() - 1);
+  EXPECT_EQ(fresh.u, 3u);
+  EXPECT_EQ(fresh.v, 11u);
+  EXPECT_EQ(fresh.weight, 999'999u);
+  // The delta was consumed either way — the crashed-endpoint link did not
+  // linger to resurface later.  (The overlay stays bound to the OLD base,
+  // so a second boundary re-streams the base survivors only: no delta.)
+  EXPECT_EQ(overlay.delta_links(), 0u);
+  const EpochOverlay::Compaction c2 = overlay.compact();
+  EXPECT_EQ(c2.graph.num_edges(), g.num_edges() - 2);
+}
+
 TEST(EpochOverlay, CrashedEndpointsDropTheirEdgesOnCompaction) {
   const Graph g = build_topology(TopologySpec{TopoKind::kRing, 16, 7});
   EpochOverlay overlay(g);

@@ -147,6 +147,35 @@ TEST(LatencyRecorder, QuantilesReadBucketUpperBounds) {
   EXPECT_EQ(s.p99, 127u);  // the 99th lands among the delay-100 samples
 }
 
+TEST(LatencyRecorder, JitterIsTheDelaySampleStddev) {
+  sim::LatencyRecorder recorder;
+  recorder.reset(2);
+  // Samples {2, 4, 4, 4, 5, 5, 7, 9} scattered over two shards: mean 5,
+  // E[d^2] = 232 / 8 = 29, variance 29 - 25 = 4 — stddev exactly 2.
+  const std::uint64_t samples[] = {2, 4, 4, 4, 5, 5, 7, 9};
+  unsigned i = 0;
+  for (const std::uint64_t d : samples) {
+    recorder.block(i++ % 2).record(sim::QosClass::kVideo, d);
+  }
+  const sim::QosSummary s = recorder.summary(sim::QosClass::kVideo);
+  EXPECT_EQ(s.delivered, 8u);
+  EXPECT_EQ(s.delay_sum, 40u);
+  EXPECT_EQ(s.delay_sq_sum, 232u);
+  EXPECT_DOUBLE_EQ(s.jitter(), 2.0);
+}
+
+TEST(LatencyRecorder, JitterOfConstantDelayIsZero) {
+  sim::LatencyRecorder recorder;
+  recorder.reset(1);
+  for (int i = 0; i < 50; ++i) {
+    recorder.block(0).record(sim::QosClass::kVoice, 3);
+  }
+  const sim::QosSummary s = recorder.summary(sim::QosClass::kVoice);
+  EXPECT_DOUBLE_EQ(s.jitter(), 0.0);
+  // And with no samples at all the report is 0, not NaN.
+  EXPECT_DOUBLE_EQ(recorder.summary(sim::QosClass::kData).jitter(), 0.0);
+}
+
 TEST(LatencyRecorder, BacklogIsArrivalsMinusDelivered) {
   sim::LatencyRecorder recorder;
   recorder.reset(2);

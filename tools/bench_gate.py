@@ -49,11 +49,13 @@ import statistics
 import sys
 
 # Counters that represent throughput (higher is better); the first one
-# present on a benchmark entry is gated.  bytes/s is last: the roofline
+# present on a benchmark entry is gated.  msgs_xshard/s is first: the
+# shard/ rows carry it next to generic rate counters and the cross-rank
+# batching rate is the primary gate there.  bytes/s is last: the roofline
 # rows carry both msgs/s and bytes/s, and the message rate is the primary
 # gate there (bytes/s alone gates the stream-bandwidth rows).
-THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "nodes/s",
-                       "items_per_second", "bytes/s")
+THROUGHPUT_COUNTERS = ("msgs_xshard/s", "slots/s", "sim_rounds/s", "msgs/s",
+                       "nodes/s", "items_per_second", "bytes/s")
 
 # Counters where LOWER is better (resident footprints / traffic volumes);
 # gated benchmarks carrying one fail when it GROWS past the tolerance.
@@ -66,9 +68,12 @@ THROUGHPUT_COUNTERS = ("slots/s", "sim_rounds/s", "msgs/s", "nodes/s",
 # in), not that the machine got slower.  recovery_slots is the fault/
 # recovery rows' first-fault-to-reconvergence latency in simulated slots —
 # a pure model output, so growth means the epoch-rebuild flow got slower
-# in model time, on any machine.
+# in model time, on any machine.  bytes_per_boundary_edge is the shard/
+# rows' wire traffic per cut edge (framing included) — deterministic per
+# configuration, so growth means the cross-rank batching or the payload
+# interning on the wire regressed, not that the machine got slower.
 MEMORY_COUNTERS = ("bytes_per_node", "bytes_per_round", "p99_delay_slots",
-                   "recovery_slots")
+                   "recovery_slots", "bytes_per_boundary_edge")
 
 # Deterministic model outputs (higher is better): pure functions of
 # (seed, load, discipline), independent of the machine, so a drop is a
@@ -91,8 +96,12 @@ MODEL_COUNTERS = ("goodput_pps", "goodput_retention")
 # fault/ gates the fault-injection bench: recovery_slots (model, must not
 # grow) on the recovery rows, goodput_retention (model, must not drop) on
 # the churn rows — both deterministic, so they gate on any machine shape.
+# shard/ gates the cross-rank batching bench two-sided: msgs_xshard/s must
+# not drop (armed machines only), bytes_per_boundary_edge must not grow
+# (deterministic, any machine).
 DEFAULT_PREFIXES = ("channel/resolve", "discipline/", "sched/", "arena/",
-                    "buckets/", "topology/", "roofline/", "load/", "fault/")
+                    "buckets/", "topology/", "roofline/", "load/", "fault/",
+                    "shard/")
 
 
 def load_benchmarks(path):
@@ -105,8 +114,23 @@ def load_benchmarks(path):
         # computes its own median over the iteration rows.
         if bench.get("run_type") == "aggregate":
             continue
-        out.setdefault(bench["name"], []).append(bench)
+        # A row without a name cannot be matched against anything; a
+        # malformed writer must not crash the gate with a KeyError.
+        name = bench.get("name")
+        if name is None:
+            print("::warning title=bench_gate::%s contains a benchmark row "
+                  "without a 'name' field; row skipped" % path)
+            continue
+        out.setdefault(name, []).append(bench)
     return doc.get("context", {}), out
+
+
+def first_counter(benches, family):
+    """First counter of `family` present on any repetition, or None."""
+    for counter in family:
+        if any(isinstance(b.get(counter), (int, float)) for b in benches):
+            return counter
+    return None
 
 
 def machine_shape(context):
@@ -183,6 +207,28 @@ def main():
     for name, base_bench in sorted(baseline.items()):
         gated = any(name.startswith(p) for p in prefixes)
         fresh_bench = fresh.get(name)
+
+        # A fresh row can carry a newly-registered gated counter that the
+        # committed baseline row predates (e.g. msgs_xshard/s landing on a
+        # pre-existing row).  The family gates below all select their
+        # counter from the BASELINE side, so without this check the new
+        # counter would pass through ungated without a word.  Fail with the
+        # counter and row named and the fix spelled out instead — staleness
+        # is a property of the committed file, not of the machine, so this
+        # fails even when the throughput gate is disarmed.
+        if gated and fresh_bench is not None:
+            for family, kind in ((THROUGHPUT_COUNTERS, "throughput"),
+                                 (MEMORY_COUNTERS, "memory"),
+                                 (MODEL_COUNTERS, "model")):
+                fresh_c = first_counter(fresh_bench, family)
+                if fresh_c is not None and \
+                        first_counter(base_bench, family) is None:
+                    mem_failures.append(
+                        "%s: baseline row lacks the newly-registered %s "
+                        "counter '%s' carried by the fresh run — the "
+                        "committed baseline predates it; refresh %s from "
+                        "this run's bench-json artifact"
+                        % (name, kind, fresh_c, args.baseline))
 
         # Memory counters gate in the other direction: growth is the
         # regression.  This check runs first and independently of the
